@@ -1,0 +1,88 @@
+// Command pgss-bench regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	pgss-bench -fig all                    # every figure, default size
+//	pgss-bench -fig 12 -size 1.0           # Fig 12 at full benchmark size
+//	pgss-bench -fig 2,3 -cache /tmp/pgss    # cache profiles between runs
+//
+// Figure IDs follow the paper: 2, 3, 7, 8, 9, 10, 11, 12, 13; the named
+// experiments ablation, coverage and extensions go beyond it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pgss/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "comma-separated figure numbers (e.g. 2,12), named experiments (ablation, coverage, extensions), or 'all'")
+	size := flag.Float64("size", 1.0, "benchmark length factor relative to defaults")
+	ops := flag.Uint64("ops", 0, "override per-benchmark op count (0 = defaults × size)")
+	scale := flag.Uint64("scale", 10, "parameter scale divisor vs the paper's SPEC-scale values")
+	cache := flag.String("cache", defaultCacheDir(), "profile cache directory ('' disables)")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	csvDir := flag.String("csv", "", "also write every table as CSV into this directory")
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	opts.Scale = *scale
+	opts.SizeFactor = *size
+	opts.TotalOps = *ops
+	opts.CacheDir = *cache
+	opts.Quiet = *quiet
+	suite, err := experiments.NewSuite(opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	var ids []string
+	if *fig == "all" {
+		ids = experiments.FigureIDs()
+	} else {
+		for _, f := range strings.Split(*fig, ",") {
+			f = strings.TrimSpace(f)
+			// Bare figure numbers get the "fig" prefix; named experiments
+			// (ablation, extensions) pass through.
+			if _, err := strconv.Atoi(f); err == nil {
+				f = "fig" + f
+			}
+			ids = append(ids, f)
+		}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := experiments.Run(suite, id)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		rep.Fprint(os.Stdout)
+		if *csvDir != "" {
+			if err := rep.WriteCSV(*csvDir); err != nil {
+				fatal(fmt.Errorf("%s: csv: %w", id, err))
+			}
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "%s regenerated in %v\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}
+
+func defaultCacheDir() string {
+	if dir, err := os.UserCacheDir(); err == nil {
+		return dir + "/pgss-profiles"
+	}
+	return ""
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pgss-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,113 @@
+// Command pgss-phase analyses the phase structure of a benchmark: it
+// classifies the BBV stream at a chosen granularity and threshold and
+// prints the phase table, transition statistics and the threshold-sweep
+// characteristics of Fig 10.
+//
+// Usage:
+//
+//	pgss-phase -bench 300.twolf [-ops N] [-gran 10000] [-threshold 0.05]
+//	pgss-phase -bench 300.twolf -sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"pgss"
+	"pgss/internal/phase"
+	"pgss/internal/stats"
+)
+
+func main() {
+	bench := flag.String("bench", "300.twolf", "benchmark name")
+	ops := flag.Uint64("ops", 0, "program length in ops (0 = benchmark default)")
+	gran := flag.Uint64("gran", 10_000, "BBV window granularity in ops")
+	threshold := flag.Float64("threshold", 0.05, "BBV angle threshold (fraction of π)")
+	sweep := flag.Bool("sweep", false, "sweep thresholds 0..0.5π (Fig 10 style)")
+	flag.Parse()
+
+	spec, err := pgss.Benchmark(*bench)
+	check(err)
+	prof, err := pgss.Record(spec, *ops)
+	check(err)
+	sigma := prof.IntervalStdDev(*gran)
+	fmt.Printf("%s: %d ops, true IPC %.4f, interval σ@%d = %.4f\n\n",
+		prof.Benchmark, prof.TotalOps, prof.TrueIPC(), *gran, sigma)
+
+	ipcs := prof.IPCSeries(*gran)
+	bbvs := prof.BBVSeries(*gran)
+	n := prof.NumFullWindows(*gran)
+	if len(ipcs) < n {
+		n = len(ipcs)
+	}
+	if len(bbvs) < n {
+		n = len(bbvs)
+	}
+
+	analyse := func(th float64) (*phase.Table, []int) {
+		table := phase.MustNewTable(th * math.Pi)
+		ids := table.ClassifySeries(bbvs[:n], *gran)
+		return table, ids
+	}
+
+	if *sweep {
+		fmt.Printf("%-12s %8s %12s %18s %12s\n",
+			"threshold", "phases", "transitions", "avg_interval(ops)", "ipc_var(σ)")
+		for th := 0.0; th <= 0.50001; th += 0.025 {
+			table, ids := analyse(th)
+			fmt.Printf(".%03dπ %11d %12d %18.0f %12.3f\n",
+				int(th*1000+0.5), table.NumPhases(), table.Transitions,
+				table.MeanRunLength()*float64(*gran), withinPhaseSigma(table, ids, ipcs[:n], sigma))
+		}
+		return
+	}
+
+	table, ids := analyse(*threshold)
+	fmt.Printf("threshold .%03dπ: %d phases, %d transitions, mean run %.0f ops\n\n",
+		int(*threshold*1000+0.5), table.NumPhases(), table.Transitions,
+		table.MeanRunLength()*float64(*gran))
+	fmt.Printf("%6s %10s %8s %10s %10s\n", "phase", "windows", "ops%", "mean_ipc", "ipc_σ")
+	var total uint64
+	for _, p := range table.Phases() {
+		total += p.Ops
+	}
+	acc := make([]stats.Running, table.NumPhases())
+	for i := 0; i < n; i++ {
+		acc[ids[i]].Add(ipcs[i])
+	}
+	for _, p := range table.Phases() {
+		fmt.Printf("%6d %10d %7.2f%% %10.4f %10.4f\n",
+			p.ID, p.Intervals, float64(p.Ops)/float64(total)*100,
+			acc[p.ID].Mean(), acc[p.ID].StdDev())
+	}
+}
+
+// withinPhaseSigma is the ops-weighted within-phase IPC standard deviation
+// in units of the benchmark σ.
+func withinPhaseSigma(table *phase.Table, ids []int, ipcs []float64, sigma float64) float64 {
+	acc := make([]stats.Running, table.NumPhases())
+	for i, id := range ids {
+		acc[id].Add(ipcs[i])
+	}
+	var weighted float64
+	var count uint64
+	for id := range acc {
+		if acc[id].N() >= 2 {
+			weighted += float64(acc[id].N()) * acc[id].StdDev()
+			count += acc[id].N()
+		}
+	}
+	if count == 0 || sigma == 0 {
+		return 0
+	}
+	return weighted / float64(count) / sigma
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pgss-phase:", err)
+		os.Exit(1)
+	}
+}

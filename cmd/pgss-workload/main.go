@@ -1,0 +1,87 @@
+// Command pgss-workload lists and inspects the synthetic benchmark suite:
+// it builds a benchmark, records its detailed profile and prints the
+// whole-program IPC, interval statistics and phase-visibility summary.
+//
+// Usage:
+//
+//	pgss-workload -list
+//	pgss-workload -bench 164.gzip -ops 10000000 [-gran 100000] [-series]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pgss/internal/bbv"
+	"pgss/internal/cpu"
+	"pgss/internal/profile"
+	"pgss/internal/stats"
+	"pgss/internal/workload"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available benchmarks")
+	bench := flag.String("bench", "", "benchmark to inspect")
+	ops := flag.Uint64("ops", 0, "program length in ops (0 = benchmark default)")
+	gran := flag.Uint64("gran", 100_000, "interval granularity for the IPC series")
+	series := flag.Bool("series", false, "print the full IPC series")
+	flag.Parse()
+
+	if *list || *bench == "" {
+		fmt.Println("available benchmarks:")
+		for _, n := range workload.Names() {
+			s, _ := workload.Get(n)
+			fmt.Printf("  %-14s %d kernels, default %d ops\n", n, len(s.Kernels), s.DefaultOps)
+		}
+		return
+	}
+
+	spec, err := workload.Get(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	prog, err := spec.Build(*ops)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("built %s: %d instructions, %d data words (%.1f MB) in %v\n",
+		prog.Name, len(prog.Code), prog.DataWords, float64(prog.DataWords)*8/1e6,
+		time.Since(start).Round(time.Millisecond))
+
+	m := cpu.MustNewMachine(prog)
+	core, err := cpu.NewCore(m, cpu.DefaultCoreConfig())
+	if err != nil {
+		fatal(err)
+	}
+	hash := bbv.MustNewHash(bbv.DefaultHashBits, 42)
+	start = time.Now()
+	p, err := profile.Record(core, hash, profile.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+	dur := time.Since(start)
+	fmt.Printf("recorded: %d ops, %d cycles, IPC=%.4f (%.1f Mops/s detailed)\n",
+		p.TotalOps, p.TotalCycles, p.TrueIPC(), float64(p.TotalOps)/dur.Seconds()/1e6)
+	fmt.Printf("caches: L1I %.2f%% L1D %.2f%% L2 %.2f%% miss; branches %.2f%% mispredicted; wild=%d\n",
+		core.Hier.L1I.Stats().MissRate()*100, core.Hier.L1D.Stats().MissRate()*100,
+		core.Hier.L2.Stats().MissRate()*100, core.BP.Stats().MispredictRate()*100,
+		m.WildAccesses)
+
+	ipcs := p.IPCSeries(*gran)
+	fmt.Printf("interval IPC @%d ops: n=%d mean=%.4f σ=%.4f min=%.4f p50=%.4f max=%.4f\n",
+		*gran, len(ipcs), stats.Mean(ipcs), stats.StdDev(ipcs),
+		stats.Percentile(ipcs, 0), stats.Percentile(ipcs, 50), stats.Percentile(ipcs, 100))
+	if *series {
+		for i, x := range ipcs {
+			fmt.Printf("%12d %.4f\n", uint64(i)**gran, x)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pgss-workload:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,42 @@
+// Quickstart: estimate a benchmark's IPC with PGSS-Sim and compare against
+// the ground truth from full detailed simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pgss"
+)
+
+func main() {
+	// Pick a benchmark from the built-in synthetic suite.
+	spec, err := pgss.Benchmark("164.gzip")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One full detailed pass records the profile — this is the expensive
+	// ground truth that sampled simulation exists to avoid.
+	prof, err := pgss.Record(spec, 20_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("benchmark %s: %d ops, true IPC %.4f\n",
+		prof.Benchmark, prof.TotalOps, prof.TrueIPC())
+
+	// PGSS-Sim with the paper's best overall configuration.
+	cfg := pgss.DefaultPGSSConfig(pgss.DefaultScale)
+	res, st, err := pgss.RunPGSS(prof, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("PGSS estimate: %.4f (error %.2f%%)\n", res.EstimatedIPC, res.ErrorPct())
+	fmt.Printf("phases detected: %d (transitions: %d)\n", st.Phases, st.Transitions)
+	fmt.Printf("detailed simulation: %d ops (%.3f%% of the program)\n",
+		res.Costs.DetailedTotal(),
+		float64(res.Costs.DetailedTotal())/float64(prof.TotalOps)*100)
+	fmt.Printf("samples: %d taken, %d windows skipped (phase already within bounds)\n",
+		st.SamplesTaken, st.SamplesSkipped)
+}

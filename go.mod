@@ -1,0 +1,3 @@
+module pgss
+
+go 1.22

@@ -1,0 +1,253 @@
+// Package bbv implements the basic-block-vector tracking hardware of the
+// paper (Fig 4): every taken branch hashes five fixed, randomly chosen bits
+// of its address into an index for a small register file, and the indexed
+// register accumulates the number of operations retired since the previous
+// taken branch. At the end of each sampling period the registers are read
+// out as a vector, L2-normalised, and compared to other vectors by the
+// angle between them (computed from the dot product), avoiding the
+// Manhattan-distance normalisation issues of SimPoint (§3).
+package bbv
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// DefaultHashBits is the paper's hash width: 5 bits → 32 registers.
+const DefaultHashBits = 5
+
+// Vector is a normalised (or raw) BBV. Its length is 1<<hashBits.
+type Vector []float64
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// Norm returns the L2 norm of v.
+func (v Vector) Norm() float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Normalize scales v in place to unit L2 norm and returns it. The zero
+// vector is returned unchanged.
+func (v Vector) Normalize() Vector {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	for i := range v {
+		v[i] /= n
+	}
+	return v
+}
+
+// Dot returns the dot product of v and w. Panics if lengths differ.
+func (v Vector) Dot(w Vector) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("bbv: dot of mismatched vectors %d vs %d", len(v), len(w)))
+	}
+	var s float64
+	for i, x := range v {
+		s += x * w[i]
+	}
+	return s
+}
+
+// Angle returns the angle in radians between v and w, both assumed
+// normalised (non-negative components ⇒ the angle lies in [0, π/2]).
+// Either vector being zero yields π/2 (maximally different), so an empty
+// sampling window never silently matches a phase.
+func (v Vector) Angle(w Vector) float64 {
+	if v.isZero() || w.isZero() {
+		return math.Pi / 2
+	}
+	d := v.Dot(w)
+	// Guard FP drift outside [ -1, 1 ].
+	if d > 1 {
+		d = 1
+	} else if d < 0 {
+		// Components are non-negative, so a negative dot product is FP
+		// noise around zero.
+		d = 0
+	}
+	return math.Acos(d)
+}
+
+// ManhattanDistance returns the L1 distance between v and w (SimPoint's
+// metric); used by the distance-metric ablation.
+func (v Vector) ManhattanDistance(w Vector) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("bbv: manhattan of mismatched vectors %d vs %d", len(v), len(w)))
+	}
+	var s float64
+	for i, x := range v {
+		s += math.Abs(x - w[i])
+	}
+	return s
+}
+
+// EuclideanDistance returns the L2 distance between v and w (the k-means
+// metric).
+func (v Vector) EuclideanDistance(w Vector) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("bbv: euclidean of mismatched vectors %d vs %d", len(v), len(w)))
+	}
+	var s float64
+	for i, x := range v {
+		d := x - w[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Add accumulates w into v in place.
+func (v Vector) Add(w Vector) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("bbv: add of mismatched vectors %d vs %d", len(v), len(w)))
+	}
+	for i := range v {
+		v[i] += w[i]
+	}
+}
+
+// Scale multiplies v by s in place.
+func (v Vector) Scale(s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+func (v Vector) isZero() bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Hash selects a fixed set of address bits and concatenates them into a
+// register-file index, as in the paper's hardware sketch: "five bits from
+// the address ... chosen at random, but remain constant throughout the
+// simulation".
+type Hash struct {
+	bits []uint // bit positions, low to high significance of the index
+}
+
+// NewHash picks `width` distinct bit positions with the given seed. The
+// positions are drawn from bits 2..17 of the branch address: bits 0–1
+// never vary (4-byte instruction slots) and higher bits exceed the code
+// footprints of the workloads (256 KB code regions).
+func NewHash(width int, seed int64) (*Hash, error) {
+	const lo, hi = 2, 18 // candidate range [lo, hi)
+	if width <= 0 || width > hi-lo {
+		return nil, fmt.Errorf("bbv: hash width %d outside [1,%d]", width, hi-lo)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(hi - lo)
+	bits := make([]uint, width)
+	for i := 0; i < width; i++ {
+		bits[i] = uint(perm[i] + lo)
+	}
+	return &Hash{bits: bits}, nil
+}
+
+// MustNewHash is NewHash that panics on error.
+func MustNewHash(width int, seed int64) *Hash {
+	h, err := NewHash(width, seed)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Width returns the number of index bits.
+func (h *Hash) Width() int { return len(h.bits) }
+
+// Bits returns the selected address bit positions (low to high index
+// significance); exposed for diagnostics and tests.
+func (h *Hash) Bits() []uint { return append([]uint(nil), h.bits...) }
+
+// Buckets returns the register-file size, 1<<Width.
+func (h *Hash) Buckets() int { return 1 << len(h.bits) }
+
+// Index hashes a branch address into a register index.
+func (h *Hash) Index(addr uint64) int {
+	var idx int
+	for i, b := range h.bits {
+		idx |= int((addr>>b)&1) << i
+	}
+	return idx
+}
+
+// Tracker is the accumulating register file. It is driven from the retire
+// stream: call RetireOps for every retired instruction batch and
+// TakenBranch at every taken branch.
+type Tracker struct {
+	hash    *Hash
+	regs    []float64
+	pending float64 // ops retired since the last taken branch
+}
+
+// NewTracker builds a tracker over the given hash.
+func NewTracker(h *Hash) *Tracker {
+	return &Tracker{hash: h, regs: make([]float64, h.Buckets())}
+}
+
+// Hash returns the tracker's hash.
+func (t *Tracker) Hash() *Hash { return t.hash }
+
+// RetireOps notes n retired operations since the last event.
+func (t *Tracker) RetireOps(n uint64) { t.pending += float64(n) }
+
+// TakenBranch notes a taken branch at addr: the pending op count is charged
+// to the register selected by the hash.
+func (t *Tracker) TakenBranch(addr uint64) {
+	t.regs[t.hash.Index(addr)] += t.pending
+	t.pending = 0
+}
+
+// TakeRaw compiles the registers into an unnormalised Vector (component i
+// holds the op count charged to register i this period) and clears them for
+// the next sampling period. Raw vectors are additive: the sum of the raw
+// vectors of consecutive periods equals the raw vector of the combined
+// period, which is what profile aggregation relies on.
+func (t *Tracker) TakeRaw() Vector {
+	v := make(Vector, len(t.regs))
+	copy(v, t.regs)
+	for i := range t.regs {
+		t.regs[i] = 0
+	}
+	// Residual ops stay pending: they belong to the basic block that will
+	// complete (with its taken branch) in the next period.
+	return v
+}
+
+// TakeVector compiles the registers into a normalised Vector and clears
+// them for the next sampling period.
+func (t *Tracker) TakeVector() Vector {
+	v := make(Vector, len(t.regs))
+	copy(v, t.regs)
+	for i := range t.regs {
+		t.regs[i] = 0
+	}
+	// Residual ops stay pending: they belong to the basic block that will
+	// complete (with its taken branch) in the next period.
+	return v.Normalize()
+}
+
+// Reset clears all accumulated state.
+func (t *Tracker) Reset() {
+	for i := range t.regs {
+		t.regs[i] = 0
+	}
+	t.pending = 0
+}

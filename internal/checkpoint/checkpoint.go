@@ -1,0 +1,179 @@
+// Package checkpoint implements live-point-style checkpointing of the
+// simulator — the acceleration the paper names first among its future work
+// ("The livepoints used in [15] could easily be used to accelerate PGSS",
+// §7, citing TurboSMARTS' simulation sampling with live-points).
+//
+// A Checkpoint captures the complete simulator state at an op position:
+// architectural state (registers, memory, PC), cache contents, branch
+// predictor state and the pipeline scoreboard. Restoring it and resuming
+// detailed simulation is bit-identical to having simulated continuously,
+// which the tests verify. A Library records checkpoints at fixed op
+// strides during one detailed or warming pass; Seek then provides random
+// access to any position by restoring the nearest checkpoint at or below
+// it and warming forward, turning the sequential simulator into the
+// random-access sample source that TurboSMARTS-style random-order
+// sampling — and live-point-accelerated PGSS — needs.
+package checkpoint
+
+import (
+	"fmt"
+	"sort"
+
+	"pgss/internal/branch"
+	"pgss/internal/cache"
+	"pgss/internal/cpu"
+)
+
+// Checkpoint is one captured simulator state.
+type Checkpoint struct {
+	// Ops is the retired-op position the state corresponds to.
+	Ops uint64
+
+	Machine cpu.MachineState
+	Timing  any // pipeline state (in-order or OoO)
+	L1I     cache.State
+	L1D     cache.State
+	L2      cache.State
+	Branch  branch.State
+	// Cycle is the timing model's cycle count at capture.
+	Cycle uint64
+	// Hier carries hierarchy-level counters.
+	MemAccesses uint64
+}
+
+// Capture snapshots a core.
+func Capture(c *cpu.Core) *Checkpoint {
+	return &Checkpoint{
+		Ops:         c.M.Retired(),
+		Machine:     c.M.Snapshot(),
+		Timing:      c.T.SnapshotState(),
+		L1I:         c.Hier.L1I.Snapshot(),
+		L1D:         c.Hier.L1D.Snapshot(),
+		L2:          c.Hier.L2.Snapshot(),
+		Branch:      c.BP.Snapshot(),
+		MemAccesses: c.Hier.MemAccesses,
+	}
+}
+
+// Restore reinstates the checkpoint into a core built for the same program
+// and configuration.
+func (ck *Checkpoint) Restore(c *cpu.Core) error {
+	if err := c.M.Restore(ck.Machine); err != nil {
+		return err
+	}
+	if err := c.T.RestoreState(ck.Timing); err != nil {
+		return err
+	}
+	if err := c.Hier.L1I.Restore(ck.L1I); err != nil {
+		return err
+	}
+	if err := c.Hier.L1D.Restore(ck.L1D); err != nil {
+		return err
+	}
+	if err := c.Hier.L2.Restore(ck.L2); err != nil {
+		return err
+	}
+	if err := c.BP.Restore(ck.Branch); err != nil {
+		return err
+	}
+	c.Hier.MemAccesses = ck.MemAccesses
+	return nil
+}
+
+// Library holds checkpoints of one program run, ordered by op position.
+type Library struct {
+	checkpoints []*Checkpoint
+	strideOps   uint64
+}
+
+// Record runs the core in functional-warming mode to completion (or
+// maxOps), capturing a checkpoint every strideOps retired ops (plus one at
+// op 0). Warming mode keeps caches and predictors live, so every
+// checkpoint is a warm starting point — the live-point property.
+func Record(c *cpu.Core, strideOps, maxOps uint64) (*Library, error) {
+	if strideOps == 0 {
+		return nil, fmt.Errorf("checkpoint: zero stride")
+	}
+	lib := &Library{strideOps: strideOps}
+	lib.checkpoints = append(lib.checkpoints, Capture(c))
+	var r cpu.Retired
+	next := strideOps
+	for c.StepWarm(&r) {
+		if c.M.Retired() >= next {
+			lib.checkpoints = append(lib.checkpoints, Capture(c))
+			next += strideOps
+		}
+		if maxOps > 0 && c.M.Retired() >= maxOps {
+			break
+		}
+	}
+	if err := c.M.Err(); err != nil {
+		return nil, fmt.Errorf("checkpoint: recording halted abnormally: %w", err)
+	}
+	return lib, nil
+}
+
+// Len returns the number of stored checkpoints.
+func (l *Library) Len() int { return len(l.checkpoints) }
+
+// StrideOps returns the recording stride.
+func (l *Library) StrideOps() uint64 { return l.strideOps }
+
+// Nearest returns the checkpoint with the greatest op position ≤ pos.
+func (l *Library) Nearest(pos uint64) *Checkpoint {
+	i := sort.Search(len(l.checkpoints), func(i int) bool {
+		return l.checkpoints[i].Ops > pos
+	})
+	if i == 0 {
+		return l.checkpoints[0]
+	}
+	return l.checkpoints[i-1]
+}
+
+// Seek restores the nearest checkpoint at or below pos into the core and
+// warms forward to exactly pos. It returns the number of warming ops spent
+// (the random-access overhead the paper's §6 calls "the overhead of
+// loading checkpoints").
+func (l *Library) Seek(c *cpu.Core, pos uint64) (warmOps uint64, err error) {
+	ck := l.Nearest(pos)
+	if err := ck.Restore(c); err != nil {
+		return 0, err
+	}
+	var r cpu.Retired
+	for c.M.Retired() < pos {
+		if !c.StepWarm(&r) {
+			return warmOps, fmt.Errorf("checkpoint: program ended at %d before position %d",
+				c.M.Retired(), pos)
+		}
+		warmOps++
+	}
+	return warmOps, nil
+}
+
+// SampleAt seeks to pos, runs warmup detailed ops unmeasured and sample
+// detailed ops measured, returning the sample IPC and the cost split —
+// one random-order live sample, as TurboSMARTS takes them.
+func (l *Library) SampleAt(c *cpu.Core, pos, warmup, sample uint64) (ipc float64, seekOps uint64, err error) {
+	seekOps, err = l.Seek(c, pos)
+	if err != nil {
+		return 0, seekOps, err
+	}
+	var r cpu.Retired
+	for i := uint64(0); i < warmup; i++ {
+		if !c.StepDetailed(&r) {
+			return 0, seekOps, fmt.Errorf("checkpoint: program ended during warm-up")
+		}
+	}
+	startCycles := c.T.Cycle()
+	var done uint64
+	for ; done < sample; done++ {
+		if !c.StepDetailed(&r) {
+			break
+		}
+	}
+	cycles := c.T.Cycle() - startCycles
+	if cycles == 0 || done == 0 {
+		return 0, seekOps, fmt.Errorf("checkpoint: empty sample at %d", pos)
+	}
+	return float64(done) / float64(cycles), seekOps, nil
+}

@@ -1,0 +1,156 @@
+package checkpoint
+
+import (
+	"math"
+	"testing"
+
+	"pgss/internal/bbv"
+	"pgss/internal/cpu"
+	"pgss/internal/profile"
+	"pgss/internal/program"
+	"pgss/internal/workload"
+)
+
+func newCore(t *testing.T, name string, ops uint64) (*cpu.Core, *program.Program) {
+	t.Helper()
+	spec, err := workload.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := spec.Build(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cpu.NewCore(cpu.MustNewMachine(prog), cpu.DefaultCoreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, prog
+}
+
+// TestRestoreBitIdentical is the core guarantee: capture at P, continue to
+// Q recording cycles, restore to P, continue again — the second run must
+// retire the same ops and charge the same cycles.
+func TestRestoreBitIdentical(t *testing.T) {
+	c, _ := newCore(t, "197.parser", 400_000)
+	var r cpu.Retired
+	for i := 0; i < 100_000; i++ {
+		if !c.StepDetailed(&r) {
+			t.Fatal("program too short")
+		}
+	}
+	ck := Capture(c)
+
+	run := func() (ops, cycles uint64, reg int64) {
+		for i := 0; i < 50_000; i++ {
+			if !c.StepDetailed(&r) {
+				break
+			}
+		}
+		return c.M.Retired(), c.T.Cycle(), c.M.Reg(20)
+	}
+	ops1, cyc1, reg1 := run()
+	if err := ck.Restore(c); err != nil {
+		t.Fatal(err)
+	}
+	if c.M.Retired() != ck.Ops {
+		t.Fatalf("restore position %d, want %d", c.M.Retired(), ck.Ops)
+	}
+	ops2, cyc2, reg2 := run()
+	if ops1 != ops2 || cyc1 != cyc2 || reg1 != reg2 {
+		t.Errorf("restored continuation diverged: ops %d/%d cycles %d/%d reg %d/%d",
+			ops1, ops2, cyc1, cyc2, reg1, reg2)
+	}
+}
+
+func TestRestoreGeometryMismatch(t *testing.T) {
+	c1, _ := newCore(t, "197.parser", 200_000)
+	ck := Capture(c1)
+	// A core for a different program has a different data segment size.
+	c2, _ := newCore(t, "177.mesa", 200_000)
+	if err := ck.Restore(c2); err == nil {
+		t.Error("cross-program restore accepted")
+	}
+}
+
+func TestLibraryRecordAndNearest(t *testing.T) {
+	c, _ := newCore(t, "197.parser", 500_000)
+	lib, err := Record(c, 100_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Len() < 5 {
+		t.Fatalf("only %d checkpoints", lib.Len())
+	}
+	if lib.Nearest(0).Ops != 0 {
+		t.Error("missing op-0 checkpoint")
+	}
+	ck := lib.Nearest(250_000)
+	if ck.Ops > 250_000 || 250_000-ck.Ops >= 2*lib.StrideOps() {
+		t.Errorf("nearest(250k) = %d", ck.Ops)
+	}
+	cz, _ := newCore(t, "197.parser", 100_000)
+	if _, err := Record(cz, 0, 0); err == nil {
+		t.Error("zero stride accepted")
+	}
+}
+
+func TestSeekExactPosition(t *testing.T) {
+	c, _ := newCore(t, "197.parser", 500_000)
+	lib, err := Record(c, 100_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := newCore(t, "197.parser", 500_000)
+	warmOps, err := lib.Seek(fresh, 333_333)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.M.Retired() != 333_333 {
+		t.Errorf("seek landed at %d", fresh.M.Retired())
+	}
+	if warmOps >= lib.StrideOps() {
+		t.Errorf("seek warmed %d ops, more than one stride", warmOps)
+	}
+	// Seeking beyond the program fails cleanly.
+	if _, err := lib.Seek(fresh, 1<<40); err == nil {
+		t.Error("seek beyond program accepted")
+	}
+}
+
+// TestRandomOrderSamplesMatchProfile: live random-order samples through
+// checkpoints must match the recorded profile's per-position IPC closely —
+// the live-point property the paper wants for accelerating PGSS.
+func TestRandomOrderSamplesMatchProfile(t *testing.T) {
+	const ops = 1_000_000
+	// Ground truth profile.
+	cRec, _ := newCore(t, "197.parser", ops)
+	prof, err := profile.Record(cRec, bbv.MustNewHash(5, 42), profile.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoint library over a fresh run.
+	cLib, _ := newCore(t, "197.parser", ops)
+	lib, err := Record(cLib, 100_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worker, _ := newCore(t, "197.parser", ops)
+	positions := []uint64{150_000, 450_000, 750_000, 300_000, 50_000} // out of order
+	var maxRel float64
+	for _, pos := range positions {
+		ipc, _, err := lib.SampleAt(worker, pos, 3000, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := prof.IPCWindow(pos+3000, 1000)
+		rel := math.Abs(ipc-ref) / ref
+		if rel > maxRel {
+			maxRel = rel
+		}
+		if rel > 0.10 {
+			t.Errorf("sample at %d: live %.4f vs profile %.4f (%.1f%%)", pos, ipc, ref, rel*100)
+		}
+	}
+	t.Logf("max live-vs-profile sample divergence: %.2f%%", maxRel*100)
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"pgss/internal/phase"
+	"pgss/internal/sampling"
+	"pgss/internal/stats"
+)
+
+// AdaptiveConfig parameterises the runtime-adaptive PGSS variant the paper
+// proposes as future work (§7): "the optimal parameters for PGSS-Sim vary
+// between benchmarks, these parameters must be automatically adjusted to
+// each benchmark ... ideally, the algorithm would adapt at runtime to
+// program characteristics."
+//
+// The controller starts from the paper's overall configuration and
+// periodically re-evaluates two signals over an adaptation epoch:
+//
+//   - phase churn: the fraction of windows that changed phase. High churn
+//     means the threshold is splitting noise (or the FF period is shorter
+//     than the program's micro-phase mixing scale), so the threshold is
+//     raised and, if churn persists, the BBV period is doubled — the same
+//     remedy the paper applies manually to 179.art/181.mcf (§5).
+//   - false-phase rate: the fraction of phase *changes* whose sampled CPI
+//     ended up within Eps of an existing phase's mean. A high rate means
+//     the threshold detects code changes that do not change performance
+//     (Fig 6's Region 4), so the threshold is raised; a very low rate with
+//     few phases allows lowering it again.
+type AdaptiveConfig struct {
+	Base Config
+	// EpochWindows is the adaptation period in FF windows (default 64).
+	EpochWindows int
+	// ChurnHigh is the phase-transition fraction above which the
+	// controller coarsens (default 0.4).
+	ChurnHigh float64
+	// ThresholdStep multiplies the threshold on each adjustment
+	// (default 1.5); ThresholdMax/Min bound it (defaults .25π and .025π).
+	ThresholdStep float64
+	ThresholdMax  float64
+	ThresholdMin  float64
+	// MaxFFOps bounds BBV-period doubling (default 16× the base period).
+	MaxFFOps uint64
+}
+
+// DefaultAdaptiveConfig returns the adaptive controller over the paper's
+// overall configuration at the given scale.
+func DefaultAdaptiveConfig(scale uint64) AdaptiveConfig {
+	base := DefaultConfig(scale)
+	base.FFOps = 100_000 / scale * 10 // start from the Fig 11 mid period
+	if base.FFOps < base.WarmOps+base.SampleOps {
+		base.FFOps = 10_000
+	}
+	return AdaptiveConfig{
+		Base:          base,
+		EpochWindows:  64,
+		ChurnHigh:     0.4,
+		ThresholdStep: 1.5,
+		ThresholdMax:  0.25,
+		ThresholdMin:  0.025,
+		MaxFFOps:      base.FFOps * 16,
+	}
+}
+
+// Validate checks the configuration.
+func (c AdaptiveConfig) Validate() error {
+	if err := c.Base.Validate(); err != nil {
+		return err
+	}
+	if c.EpochWindows <= 0 {
+		return fmt.Errorf("pgss: adaptive epoch %d", c.EpochWindows)
+	}
+	if c.ThresholdStep <= 1 {
+		return fmt.Errorf("pgss: adaptive threshold step %g must exceed 1", c.ThresholdStep)
+	}
+	if c.ThresholdMin <= 0 || c.ThresholdMax > 0.5 || c.ThresholdMin > c.ThresholdMax {
+		return fmt.Errorf("pgss: adaptive threshold bounds [%g, %g]", c.ThresholdMin, c.ThresholdMax)
+	}
+	return nil
+}
+
+// AdaptiveStats extends Stats with the controller's adjustment history.
+type AdaptiveStats struct {
+	Stats
+	// Adjustments records every parameter change as a human-readable
+	// entry.
+	Adjustments []string
+	// FinalThresholdPi and FinalFFOps are the parameters in force at the
+	// end of the run.
+	FinalThresholdPi float64
+	FinalFFOps       uint64
+	// Restarts counts phase-table rebuilds (each FF-period change).
+	Restarts int
+}
+
+// RunAdaptive executes the adaptive PGSS variant over the target.
+//
+// When the FF period changes, the phase table restarts: BBVs at the old
+// granularity are not comparable to those at the new one. Accumulated
+// phase weights and samples are preserved in a retired estimator so the
+// final estimate still covers the whole run: each retired table contributes
+// its ops-weighted CPI for the span it observed.
+func RunAdaptive(t sampling.Target, cfg AdaptiveConfig) (sampling.Result, AdaptiveStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return sampling.Result{}, AdaptiveStats{}, err
+	}
+	cur := cfg.Base
+	res := sampling.Result{
+		Technique: "PGSS-Adaptive",
+		Config:    cur.String(),
+		Benchmark: t.Benchmark(),
+		TrueIPC:   t.TrueIPC(),
+	}
+	var ast AdaptiveStats
+
+	z := stats.ConfidenceZ(cur.Confidence)
+	needsSample := func(p *phase.Phase) bool {
+		return !p.CPI.WithinBound(cur.Eps, z, cur.MinSamples)
+	}
+
+	// Retired-estimator accumulators: ops-weighted CPI of completed spans.
+	var retiredCPIWeight, retiredOps float64
+	var unsampledOps uint64
+	retire := func(table *phase.Table) {
+		for _, p := range table.Phases() {
+			if p.CPI.N() == 0 {
+				unsampledOps += p.Ops
+				continue
+			}
+			retiredCPIWeight += float64(p.Ops) * p.CPI.Mean()
+			retiredOps += float64(p.Ops)
+		}
+		ast.Phases += table.NumPhases()
+		ast.Transitions += table.Transitions
+		ast.Comparisons += table.Comparisons
+	}
+
+	table := phase.MustNewTable(cur.ThresholdPi * math.Pi)
+	var scheduled *phase.Phase
+	windowIdx := 0
+
+	// Epoch signals.
+	epochWindows, epochTransitions, epochFalse, epochChanges := 0, 0, 0, 0
+
+	// stubborn reports whether some phase has taken many samples and still
+	// fails its confidence bound — the signature of sub-window phase
+	// mixing (179.art/181.mcf, §5): every sample lands in a different
+	// blend of micro-behaviours, so the variance never closes and only a
+	// coarser BBV period helps.
+	stubbornN := 4 * cur.MinSamples
+	stubborn := func() bool {
+		for _, p := range table.Phases() {
+			if p.CPI.N() >= stubbornN && needsSample(p) {
+				return true
+			}
+		}
+		return false
+	}
+
+	adjust := func() {
+		churn := float64(epochTransitions) / float64(epochWindows)
+		falseRate := 0.0
+		if epochChanges > 0 {
+			falseRate = float64(epochFalse) / float64(epochChanges)
+		}
+		switch {
+		case (churn > cfg.ChurnHigh || stubborn()) && cur.FFOps*2 <= cfg.MaxFFOps:
+			// Micro-phase mixing: coarsen the BBV period (restart table).
+			cur.FFOps *= 2
+			if cur.SpreadOps < cur.FFOps {
+				cur.SpreadOps = cur.FFOps
+			}
+			ast.Adjustments = append(ast.Adjustments,
+				fmt.Sprintf("window %d: churn %.2f → FF period ×2 = %d", windowIdx, churn, cur.FFOps))
+			retire(table)
+			table = phase.MustNewTable(cur.ThresholdPi * math.Pi)
+			scheduled = nil
+			ast.Restarts++
+		case falseRate > 0.5 && cur.ThresholdPi*cfg.ThresholdStep <= cfg.ThresholdMax:
+			// Too many performance-neutral phase changes: raise the
+			// threshold. The existing table remains valid — a looser
+			// threshold only merges future windows.
+			cur.ThresholdPi *= cfg.ThresholdStep
+			table.SetThreshold(cur.ThresholdPi * math.Pi)
+			ast.Adjustments = append(ast.Adjustments,
+				fmt.Sprintf("window %d: false-phase rate %.2f → threshold %.3fπ", windowIdx, falseRate, cur.ThresholdPi))
+		}
+		epochWindows, epochTransitions, epochFalse, epochChanges = 0, 0, 0, 0
+	}
+
+	for {
+		var warm, sample uint64
+		if scheduled != nil {
+			warm, sample = cur.WarmOps, cur.SampleOps
+		}
+		w, ok := t.NextWindow(cur.FFOps, warm, sample)
+		if !ok {
+			break
+		}
+		res.Costs.Detailed += w.SampleOps
+		res.Costs.DetailedWarm += w.WarmOps
+		res.Costs.FunctionalWarm += w.Ops - w.SampleOps - w.WarmOps
+
+		if scheduled != nil {
+			if !math.IsNaN(w.SampleIPC) && w.SampleIPC > 0 {
+				cpi := 1 / w.SampleIPC
+				scheduled.CPI.Add(cpi)
+				scheduled.LastSampleOp = t.Pos()
+				scheduled.HasSample = true
+				res.Samples++
+				ast.SamplesTaken++
+				// False-phase signal: a *new* phase whose first sample sits
+				// within Eps of another phase's converged mean.
+				if scheduled.CPI.N() == 1 {
+					for _, p := range table.Phases() {
+						if p != scheduled && p.CPI.N() >= cur.MinSamples &&
+							math.Abs(p.CPI.Mean()-cpi) <= cur.Eps*p.CPI.Mean() {
+							epochFalse++
+							break
+						}
+					}
+				}
+			}
+			scheduled = nil
+		}
+
+		p, isNew, changed := table.Classify(w.BBV, w.Ops, windowIdx)
+		windowIdx++
+		epochWindows++
+		if changed || isNew {
+			epochTransitions++
+			if isNew {
+				epochChanges++
+			}
+		}
+
+		if needsSample(p) {
+			if !p.HasSample || t.Pos()-p.LastSampleOp >= cur.SpreadOps {
+				scheduled = p
+			} else {
+				ast.SpreadDeferrals++
+			}
+		} else {
+			ast.SamplesSkipped++
+		}
+
+		if epochWindows >= cfg.EpochWindows {
+			adjust()
+		}
+	}
+	table.FinishRun()
+	retire(table)
+
+	if retiredOps > 0 && retiredCPIWeight > 0 {
+		res.EstimatedIPC = retiredOps / retiredCPIWeight
+	}
+	ast.UnsampledOps = unsampledOps
+	ast.FinalThresholdPi = cur.ThresholdPi
+	ast.FinalFFOps = cur.FFOps
+	res.Phases = ast.Phases
+	res.Config = fmt.Sprintf("adaptive→%s", cur.String())
+	return res, ast, nil
+}

@@ -1,0 +1,322 @@
+// Package core implements Phase-Guided Small-Sample Simulation (PGSS-Sim),
+// the contribution of the reproduced paper.
+//
+// PGSS-Sim interleaves short functional fast-forwarding periods — during
+// which a hardware-style BBV tracker (package bbv) estimates basic-block
+// frequencies — with SMARTS-style detailed samples (3k-op warm-up + 1k-op
+// measurement). After every fast-forward period the period's BBV is
+// classified against the online phase table (package phase): the current
+// phase is checked first, then all known phases; an unmatched BBV opens a
+// new phase. A detailed sample is scheduled only when the current phase's
+// IPC estimate is not yet within confidence bounds and no sample has been
+// taken in this phase within the spread window (1M ops in the paper),
+// which distributes samples across a phase's occurrences to capture
+// temporal variation (paper Fig 5).
+//
+// Whole-program CPI is estimated as the ops-weighted mean of the per-phase
+// sample-mean CPIs (IPC is its reciprocal; op-uniform sampling is unbiased
+// in CPI space). Phases therefore automatically receive samples in
+// proportion to their instability and recurrence: stable phases stop
+// sampling as soon as their confidence bound closes, rare phases receive
+// only their minimum, and high-variance phases keep sampling (§3).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"pgss/internal/phase"
+	"pgss/internal/sampling"
+	"pgss/internal/stats"
+)
+
+// Config parameterises PGSS-Sim. The paper's defaults (at scale 1) are
+// FFOps=100k, WarmOps=3k, SampleOps=1k, ThresholdPi=0.05, SpreadOps=1M,
+// Eps=3%, Confidence=99.7%.
+type Config struct {
+	// FFOps is the fast-forward/BBV sampling period.
+	FFOps uint64
+	// WarmOps and SampleOps form the detailed sample (SMARTS structure).
+	WarmOps   uint64
+	SampleOps uint64
+	// ThresholdPi is the BBV angle threshold as a fraction of π.
+	ThresholdPi float64
+	// SpreadOps is the minimum distance between two samples of the same
+	// phase.
+	SpreadOps uint64
+	// Eps and Confidence define the per-phase stopping bound.
+	Eps        float64
+	Confidence float64
+	// MinSamples is the per-phase sample floor before the bound may close.
+	MinSamples uint64
+
+	// DisableSpread turns the spread rule off (ablation).
+	DisableSpread bool
+	// DisableConfidence replaces the confidence bound with a fixed
+	// MinSamples-per-phase budget (ablation).
+	DisableConfidence bool
+	// NoCurrentFirst disables the classify-current-phase-first
+	// optimisation (ablation).
+	NoCurrentFirst bool
+	// Manhattan switches the phase distance metric to SimPoint's L1
+	// distance (ablation); ThresholdPi is then interpreted directly as an
+	// L1 distance instead of an angle fraction.
+	Manhattan bool
+	// Trace records every sample into Stats.SampleTrace (diagnostics).
+	Trace bool
+	// GuardTransitions implements the paper's future-work refinement of
+	// tracking phase transition points (§7, citing Lau et al. CGO'06):
+	// a sample physically sits at the start of the window *after* the one
+	// whose classification scheduled it; if that following window turns
+	// out to belong to a different phase, the sample straddled a
+	// transition and is discarded rather than poisoning the scheduled
+	// phase's CPI statistics.
+	GuardTransitions bool
+}
+
+// DefaultConfig returns the paper's best overall configuration (1M-op BBV
+// period, .05π threshold) at the given scale: window parameters divide by
+// scale, sample sizes stay absolute.
+func DefaultConfig(scale uint64) Config {
+	if scale == 0 {
+		scale = 1
+	}
+	return Config{
+		FFOps:       1_000_000 / scale,
+		WarmOps:     3000,
+		SampleOps:   1000,
+		ThresholdPi: 0.05,
+		SpreadOps:   1_000_000 / scale,
+		Eps:         0.03,
+		Confidence:  0.997,
+		MinSamples:  8,
+	}
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("ff=%d/.%02dπ", c.FFOps, int(c.ThresholdPi*100+0.5))
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.FFOps == 0 || c.SampleOps == 0 {
+		return fmt.Errorf("pgss: zero FF period or sample size in %+v", c)
+	}
+	if c.WarmOps+c.SampleOps > c.FFOps {
+		return fmt.Errorf("pgss: warm+sample %d exceeds FF period %d", c.WarmOps+c.SampleOps, c.FFOps)
+	}
+	if c.ThresholdPi < 0 || c.ThresholdPi > 0.5 {
+		return fmt.Errorf("pgss: threshold %gπ outside [0, 0.5π]", c.ThresholdPi)
+	}
+	if c.Eps <= 0 && !c.DisableConfidence {
+		return fmt.Errorf("pgss: nonpositive eps %g", c.Eps)
+	}
+	if c.MinSamples == 0 {
+		return fmt.Errorf("pgss: zero MinSamples")
+	}
+	return nil
+}
+
+// Stats captures PGSS-specific diagnostics of one run.
+type Stats struct {
+	Phases          int
+	Transitions     uint64
+	SamplesTaken    uint64
+	SamplesSkipped  uint64 // windows where bounds were already met
+	SpreadDeferrals uint64 // windows deferred by the spread rule
+	UnsampledOps    uint64 // ops in phases that ended with no sample
+	Comparisons     uint64 // BBV distance computations
+	GuardedSamples  uint64 // samples discarded by the transition guard
+	// PerPhaseSamples[i] is the sample count of phase i.
+	PerPhaseSamples []uint64
+	// PhaseDiags carries a per-phase ledger for diagnostics and ablation
+	// reporting.
+	PhaseDiags []PhaseDiag
+	// SampleTrace records every sample when Config.Trace is set.
+	SampleTrace []SampleEvent
+}
+
+// SampleEvent records one detailed sample for diagnostics.
+type SampleEvent struct {
+	Pos     uint64 // op position after the sample's window
+	PhaseID int
+	CPI     float64
+}
+
+// PhaseDiag summarises one phase of a PGSS run.
+type PhaseDiag struct {
+	ID        int
+	Intervals uint64
+	Ops       uint64
+	Samples   uint64
+	MeanCPI   float64
+	CVCPI     float64
+}
+
+// recordSample attributes one measured CPI to a phase and updates the run
+// ledgers.
+func recordSample(p *phase.Phase, cpi float64, pos uint64, cfg Config, res *sampling.Result, st *Stats) {
+	p.CPI.Add(cpi)
+	p.LastSampleOp = pos
+	p.HasSample = true
+	res.Samples++
+	st.SamplesTaken++
+	if cfg.Trace {
+		st.SampleTrace = append(st.SampleTrace, SampleEvent{Pos: pos, PhaseID: p.ID, CPI: cpi})
+	}
+}
+
+// Run executes PGSS-Sim over the target.
+func Run(t sampling.Target, cfg Config) (sampling.Result, Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return sampling.Result{}, Stats{}, err
+	}
+	res := sampling.Result{
+		Technique: "PGSS",
+		Config:    cfg.String(),
+		Benchmark: t.Benchmark(),
+		TrueIPC:   t.TrueIPC(),
+	}
+	var st Stats
+
+	table := phase.MustNewTable(cfg.ThresholdPi * math.Pi)
+	table.CheckCurrentFirst = !cfg.NoCurrentFirst
+	table.Manhattan = cfg.Manhattan
+
+	z := stats.ConfidenceZ(cfg.Confidence)
+	needsSample := func(p *phase.Phase) bool {
+		if cfg.DisableConfidence {
+			return p.CPI.N() < cfg.MinSamples
+		}
+		return !p.CPI.WithinBound(cfg.Eps, z, cfg.MinSamples)
+	}
+
+	// scheduled is the phase the pending sample (taken at the start of the
+	// next window) will be attributed to.
+	var scheduled *phase.Phase
+	windowIdx := 0
+	for {
+		var warm, sample uint64
+		if scheduled != nil {
+			warm, sample = cfg.WarmOps, cfg.SampleOps
+		}
+		w, ok := t.NextWindow(cfg.FFOps, warm, sample)
+		if !ok {
+			break
+		}
+		res.Costs.Detailed += w.SampleOps
+		res.Costs.DetailedWarm += w.WarmOps
+		res.Costs.FunctionalWarm += w.Ops - w.SampleOps - w.WarmOps
+
+		// A valid sample is normally attributed to the phase that
+		// scheduled it before the window is classified (the paper's Fig 5
+		// order). With the transition guard, attribution waits for the
+		// classification of the window the sample physically sits in.
+		var pendingCPI float64
+		pendingPhase := scheduled
+		if scheduled != nil {
+			if !math.IsNaN(w.SampleIPC) && w.SampleIPC > 0 {
+				pendingCPI = 1 / w.SampleIPC
+				if !cfg.GuardTransitions {
+					recordSample(scheduled, pendingCPI, t.Pos(), cfg, &res, &st)
+					pendingCPI = 0
+				}
+			}
+			scheduled = nil
+		}
+
+		p, _, _ := table.Classify(w.BBV, w.Ops, windowIdx)
+		windowIdx++
+
+		if pendingCPI > 0 {
+			if p == pendingPhase {
+				recordSample(pendingPhase, pendingCPI, t.Pos(), cfg, &res, &st)
+			} else {
+				// The sample straddled a phase transition: discard it. The
+				// detailed ops were still spent (already charged above).
+				st.GuardedSamples++
+			}
+		}
+
+		// Fig 5 decision chain: within confidence bounds → skip; else the
+		// spread rule must allow another sample of this phase.
+		if needsSample(p) {
+			if cfg.DisableSpread || !p.HasSample || t.Pos()-p.LastSampleOp >= cfg.SpreadOps {
+				scheduled = p
+			} else {
+				st.SpreadDeferrals++
+			}
+		} else {
+			st.SamplesSkipped++
+		}
+	}
+	table.FinishRun()
+
+	// Estimate: whole-program CPI is the ops-weighted mean of per-phase
+	// sample-mean CPIs; IPC is its reciprocal. Phases that ended without
+	// any sample (the program ran out first) contribute no estimate; their
+	// weight is excluded and reported.
+	var weightedCPI, totalW float64
+	for _, p := range table.Phases() {
+		st.PerPhaseSamples = append(st.PerPhaseSamples, p.CPI.N())
+		st.PhaseDiags = append(st.PhaseDiags, PhaseDiag{
+			ID: p.ID, Intervals: p.Intervals, Ops: p.Ops,
+			Samples: p.CPI.N(), MeanCPI: p.CPI.Mean(), CVCPI: p.CPI.CV(),
+		})
+		if p.CPI.N() == 0 {
+			st.UnsampledOps += p.Ops
+			continue
+		}
+		weightedCPI += float64(p.Ops) * p.CPI.Mean()
+		totalW += float64(p.Ops)
+	}
+	if totalW > 0 && weightedCPI > 0 {
+		res.EstimatedIPC = totalW / weightedCPI
+	}
+	res.Phases = table.NumPhases()
+	st.Phases = table.NumPhases()
+	st.Transitions = table.Transitions
+	st.Comparisons = table.Comparisons
+	return res, st, nil
+}
+
+// Sweep runs PGSS over every (FF period, threshold) combination of the
+// paper's Fig 11: periods {100k, 1M, 10M}/scale × thresholds
+// {.05,.10,.15,.20,.25}π.
+func Sweep(scale uint64) []Config {
+	if scale == 0 {
+		scale = 1
+	}
+	periods := []uint64{100_000 / scale, 1_000_000 / scale, 10_000_000 / scale}
+	thresholds := []float64{0.05, 0.10, 0.15, 0.20, 0.25}
+	var out []Config
+	for _, p := range periods {
+		for _, th := range thresholds {
+			cfg := DefaultConfig(scale)
+			cfg.FFOps = p
+			cfg.SpreadOps = 1_000_000 / scale
+			cfg.ThresholdPi = th
+			out = append(out, cfg)
+		}
+	}
+	return out
+}
+
+// Best runs every configuration and returns the lowest-error result (the
+// "PGSS(best)" series of Fig 12) plus all results.
+func Best(t func() sampling.Target, sweep []Config) (best sampling.Result, all []sampling.Result, err error) {
+	for _, cfg := range sweep {
+		r, _, e := Run(t(), cfg)
+		if e != nil {
+			continue
+		}
+		all = append(all, r)
+		if best.Technique == "" || r.ErrorPct() < best.ErrorPct() {
+			best = r
+		}
+	}
+	if best.Technique == "" {
+		return best, all, fmt.Errorf("pgss: no feasible configuration")
+	}
+	return best, all, nil
+}

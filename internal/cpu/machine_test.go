@@ -1,0 +1,292 @@
+package cpu
+
+import (
+	"testing"
+
+	"pgss/internal/isa"
+	"pgss/internal/program"
+)
+
+// run executes prog to completion (or maxSteps) and returns the machine.
+func run(t *testing.T, prog *program.Program, maxSteps int) *Machine {
+	t.Helper()
+	m := MustNewMachine(prog)
+	var r Retired
+	for i := 0; i < maxSteps && m.Step(&r); i++ {
+	}
+	if !m.Halted() {
+		t.Fatalf("program did not halt within %d steps", maxSteps)
+	}
+	if err := m.Err(); err != nil {
+		t.Fatalf("program halted abnormally: %v", err)
+	}
+	return m
+}
+
+func build(t *testing.T, f func(b *program.Builder)) *program.Program {
+	t.Helper()
+	b := program.NewBuilder("t")
+	f(b)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestALUSemantics(t *testing.T) {
+	p := build(t, func(b *program.Builder) {
+		b.OpI(isa.ADDI, isa.T0, isa.Zero, 7)
+		b.OpI(isa.ADDI, isa.T1, isa.Zero, 3)
+		b.Op(isa.ADD, isa.T2, isa.T0, isa.T1) // 10
+		b.Op(isa.SUB, isa.T3, isa.T0, isa.T1) // 4
+		b.Op(isa.MUL, isa.T4, isa.T0, isa.T1) // 21
+		b.Op(isa.DIV, isa.T5, isa.T0, isa.T1) // 2
+		b.Op(isa.AND, isa.S0, isa.T0, isa.T1) // 3
+		b.Op(isa.OR, isa.S1, isa.T0, isa.T1)  // 7
+		b.Op(isa.XOR, isa.S2, isa.T0, isa.T1) // 4
+		b.Op(isa.SLL, isa.S3, isa.T1, isa.T0) // 3<<7 = 384
+		b.Op(isa.SLT, isa.S4, isa.T1, isa.T0) // 1
+		b.OpI(isa.SLTI, isa.S5, isa.T0, 3)    // 0
+		b.OpI(isa.LUI, isa.S6, isa.Zero, 2)   // 2<<16
+		b.Halt()
+	})
+	m := run(t, p, 100)
+	want := map[isa.Reg]int64{
+		isa.T2: 10, isa.T3: 4, isa.T4: 21, isa.T5: 2,
+		isa.S0: 3, isa.S1: 7, isa.S2: 4, isa.S3: 384,
+		isa.S4: 1, isa.S5: 0, isa.S6: 2 << 16,
+	}
+	for r, v := range want {
+		if got := m.Reg(r); got != v {
+			t.Errorf("%v = %d, want %d", r, got, v)
+		}
+	}
+}
+
+func TestDivByZero(t *testing.T) {
+	p := build(t, func(b *program.Builder) {
+		b.OpI(isa.ADDI, isa.T0, isa.Zero, 5)
+		b.Op(isa.DIV, isa.T1, isa.T0, isa.Zero)
+		b.Op(isa.FDIV, isa.T2, isa.T0, isa.Zero)
+		b.Halt()
+	})
+	m := run(t, p, 10)
+	if m.Reg(isa.T1) != -1 || m.Reg(isa.T2) != -1 {
+		t.Errorf("div by zero: %d %d, want -1 -1", m.Reg(isa.T1), m.Reg(isa.T2))
+	}
+}
+
+func TestZeroRegisterImmutable(t *testing.T) {
+	p := build(t, func(b *program.Builder) {
+		b.OpI(isa.ADDI, isa.Zero, isa.Zero, 42)
+		b.Op(isa.ADD, isa.T0, isa.Zero, isa.Zero)
+		b.Halt()
+	})
+	m := run(t, p, 10)
+	if m.Reg(isa.Zero) != 0 || m.Reg(isa.T0) != 0 {
+		t.Error("write to r0 took effect")
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	p := build(t, func(b *program.Builder) {
+		w := b.AllocData(4)
+		b.InitData(w+1, 99)
+		b.LoadImm(isa.T0, int64(program.DataAddr(w)))
+		b.Load(isa.T1, isa.T0, 8) // word w+1 = 99
+		b.OpI(isa.ADDI, isa.T2, isa.T1, 1)
+		b.Store(isa.T2, isa.T0, 16) // word w+2 = 100
+		b.Load(isa.T3, isa.T0, 16)
+		b.Halt()
+	})
+	m := run(t, p, 20)
+	if m.Reg(isa.T1) != 99 || m.Reg(isa.T3) != 100 {
+		t.Errorf("load/store: %d %d", m.Reg(isa.T1), m.Reg(isa.T3))
+	}
+	if m.DataWord(2) != 100 {
+		t.Errorf("data word = %d", m.DataWord(2))
+	}
+	if m.WildAccesses != 0 {
+		t.Errorf("wild accesses: %d", m.WildAccesses)
+	}
+}
+
+func TestWildAccessWraps(t *testing.T) {
+	p := build(t, func(b *program.Builder) {
+		b.AllocData(2)
+		b.LoadImm(isa.T0, int64(program.DataAddr(5))) // outside the segment
+		b.Load(isa.T1, isa.T0, 0)
+		b.Halt()
+	})
+	m := run(t, p, 20)
+	if m.WildAccesses != 1 {
+		t.Errorf("wild accesses = %d, want 1", m.WildAccesses)
+	}
+}
+
+func TestBranchesAndLoop(t *testing.T) {
+	// Sum 1..5 with a BNE loop.
+	p := build(t, func(b *program.Builder) {
+		b.OpI(isa.ADDI, isa.T0, isa.Zero, 5) // counter
+		b.OpI(isa.ADDI, isa.T1, isa.Zero, 0) // sum
+		b.Label("loop")
+		b.Op(isa.ADD, isa.T1, isa.T1, isa.T0)
+		b.OpI(isa.ADDI, isa.T0, isa.T0, -1)
+		b.Branch(isa.BNE, isa.T0, isa.Zero, "loop")
+		b.Halt()
+	})
+	m := run(t, p, 100)
+	if m.Reg(isa.T1) != 15 {
+		t.Errorf("sum = %d, want 15", m.Reg(isa.T1))
+	}
+}
+
+func TestBranchConditions(t *testing.T) {
+	// Each branch taken/not-taken sets a flag register when the fall
+	// through path is skipped.
+	p := build(t, func(b *program.Builder) {
+		b.OpI(isa.ADDI, isa.T0, isa.Zero, 1)
+		b.OpI(isa.ADDI, isa.T1, isa.Zero, 2)
+		b.Branch(isa.BEQ, isa.T0, isa.T1, "bad") // not taken
+		b.Branch(isa.BNE, isa.T0, isa.T1, "ok1") // taken
+		b.Jump("bad")
+		b.Label("ok1")
+		b.Branch(isa.BLT, isa.T0, isa.T1, "ok2") // taken
+		b.Jump("bad")
+		b.Label("ok2")
+		b.Branch(isa.BGE, isa.T0, isa.T1, "bad") // not taken
+		b.Branch(isa.BGE, isa.T1, isa.T0, "ok3") // taken
+		b.Jump("bad")
+		b.Label("ok3")
+		b.OpI(isa.ADDI, isa.S7, isa.Zero, 1)
+		b.Halt()
+		b.Label("bad")
+		b.OpI(isa.ADDI, isa.S7, isa.Zero, -1)
+		b.Halt()
+	})
+	m := run(t, p, 100)
+	if m.Reg(isa.S7) != 1 {
+		t.Errorf("branch condition routing failed: S7=%d", m.Reg(isa.S7))
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	p := build(t, func(b *program.Builder) {
+		b.SetEntry("main")
+		b.Label("fn")
+		b.OpI(isa.ADDI, isa.T0, isa.T0, 10)
+		b.Ret()
+		b.Label("main")
+		b.Call("fn")
+		b.Call("fn")
+		b.Halt()
+	})
+	m := run(t, p, 100)
+	if m.Reg(isa.T0) != 20 {
+		t.Errorf("T0 = %d, want 20", m.Reg(isa.T0))
+	}
+}
+
+func TestRetiredRecordsControlFlow(t *testing.T) {
+	p := build(t, func(b *program.Builder) {
+		b.SetEntry("main")
+		b.Label("fn")
+		b.Ret()
+		b.Label("main")
+		b.Call("fn")
+		b.Halt()
+	})
+	m := MustNewMachine(p)
+	var r Retired
+	// JAL
+	if !m.Step(&r) || r.Op != isa.JAL || !r.IsCall || !r.Taken {
+		t.Fatalf("JAL record: %+v", r)
+	}
+	if r.ReturnAddr != program.AddrOf(2) {
+		t.Errorf("return addr = %#x", r.ReturnAddr)
+	}
+	// JR (return)
+	if !m.Step(&r) || r.Op != isa.JR || !r.IsReturn {
+		t.Fatalf("JR record: %+v", r)
+	}
+	if r.TargetAddr != program.AddrOf(2) {
+		t.Errorf("JR target = %#x", r.TargetAddr)
+	}
+}
+
+func TestWildJumpHalts(t *testing.T) {
+	p := build(t, func(b *program.Builder) {
+		b.OpI(isa.ADDI, isa.T0, isa.Zero, 500) // outside code
+		b.Emit(isa.Inst{Op: isa.JR, Src1: isa.T0})
+		b.Halt()
+	})
+	m := MustNewMachine(p)
+	var r Retired
+	for m.Step(&r) {
+	}
+	if m.Err() == nil {
+		t.Error("wild jump did not set an error")
+	}
+}
+
+func TestResetRestoresState(t *testing.T) {
+	p := build(t, func(b *program.Builder) {
+		w := b.AllocData(1)
+		b.InitData(w, 7)
+		b.LoadImm(isa.T0, int64(program.DataAddr(w)))
+		b.OpI(isa.ADDI, isa.T1, isa.Zero, 1)
+		b.Store(isa.T1, isa.T0, 0)
+		b.Halt()
+	})
+	m := run(t, p, 20)
+	if m.DataWord(0) != 1 {
+		t.Fatal("store missing")
+	}
+	retired := m.Retired()
+	m.Reset()
+	if m.DataWord(0) != 7 || m.Halted() || m.Retired() != 0 {
+		t.Error("reset incomplete")
+	}
+	var r Retired
+	for m.Step(&r) {
+	}
+	if m.Retired() != retired {
+		t.Errorf("re-run retired %d, want %d", m.Retired(), retired)
+	}
+}
+
+func TestHaltCountsAsRetired(t *testing.T) {
+	p := build(t, func(b *program.Builder) { b.Halt() })
+	m := MustNewMachine(p)
+	var r Retired
+	if !m.Step(&r) {
+		t.Fatal("HALT step returned false on first call")
+	}
+	if m.Step(&r) {
+		t.Fatal("step after halt returned true")
+	}
+	if m.Retired() != 1 {
+		t.Errorf("retired = %d", m.Retired())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := build(t, func(b *program.Builder) {
+		b.AllocData(64)
+		b.LoadImm(isa.T0, int64(program.DataAddr(0)))
+		b.OpI(isa.ADDI, isa.T1, isa.Zero, 50)
+		b.Label("loop")
+		b.Op(isa.MUL, isa.T2, isa.T1, isa.T1)
+		b.Store(isa.T2, isa.T0, 0)
+		b.Load(isa.T3, isa.T0, 0)
+		b.OpI(isa.ADDI, isa.T1, isa.T1, -1)
+		b.Branch(isa.BNE, isa.T1, isa.Zero, "loop")
+		b.Halt()
+	})
+	m1 := run(t, p, 1000)
+	m2 := run(t, p, 1000)
+	if m1.Retired() != m2.Retired() || m1.Reg(isa.T3) != m2.Reg(isa.T3) {
+		t.Error("execution not deterministic")
+	}
+}

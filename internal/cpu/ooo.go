@@ -1,0 +1,244 @@
+package cpu
+
+import (
+	"fmt"
+
+	"pgss/internal/branch"
+	"pgss/internal/cache"
+	"pgss/internal/isa"
+)
+
+// OoOConfig parameterises the out-of-order timing model.
+type OoOConfig struct {
+	ROBSize           int    // reorder-buffer entries (default 64)
+	DispatchWidth     int    // instructions dispatched per cycle (default 4)
+	CommitWidth       int    // instructions committed per cycle (default 4)
+	MispredictPenalty uint64 // front-end flush cycles (default 10)
+}
+
+// DefaultOoOConfig is a modest early-2000s out-of-order core.
+func DefaultOoOConfig() OoOConfig {
+	return OoOConfig{ROBSize: 64, DispatchWidth: 4, CommitWidth: 4, MispredictPenalty: 10}
+}
+
+// OoO is a dataflow (interval-style) timing model of an out-of-order core:
+// instructions dispatch in order into a reorder buffer, execute as soon as
+// their operands are ready, and commit in order. Unlike the in-order
+// scoreboard (Timing), a long-latency instruction does not block younger
+// independent instructions — only ROB capacity, operand dependences, cache
+// misses and branch mispredictions limit throughput.
+//
+// It implements the same Pipeline interface as Timing, so every sampling
+// technique and experiment runs unchanged over either core.
+type OoO struct {
+	cfg  OoOConfig
+	hier *cache.Hierarchy
+	bp   *branch.Unit
+
+	readyAt [isa.NumRegs]uint64
+
+	// commitRing holds the commit cycles of the last ROBSize instructions;
+	// dispatch of instruction i must wait for instruction i−ROBSize to
+	// commit.
+	commitRing []uint64
+	ringPos    int
+	count      uint64 // instructions retired
+
+	dispatchCycle uint64 // cycle of the most recent dispatch
+	dispatched    int    // dispatches in that cycle
+	commitCycle   uint64 // cycle of the most recent commit
+	committed     int    // commits in that cycle
+	feReady       uint64 // front end stalled until this cycle
+	lastLine      uint64
+	lineMask      uint64
+}
+
+// NewOoO builds the out-of-order model over a hierarchy and predictor.
+func NewOoO(cfg OoOConfig, hier *cache.Hierarchy, bp *branch.Unit) *OoO {
+	if cfg.ROBSize <= 0 {
+		cfg.ROBSize = 64
+	}
+	if cfg.DispatchWidth <= 0 {
+		cfg.DispatchWidth = 4
+	}
+	if cfg.CommitWidth <= 0 {
+		cfg.CommitWidth = 4
+	}
+	if cfg.MispredictPenalty == 0 {
+		cfg.MispredictPenalty = 10
+	}
+	return &OoO{
+		cfg:        cfg,
+		hier:       hier,
+		bp:         bp,
+		commitRing: make([]uint64, cfg.ROBSize),
+		lineMask:   ^uint64(hier.L1I.LineBytes() - 1),
+	}
+}
+
+// Cycle returns the cycle of the most recent in-order commit.
+func (o *OoO) Cycle() uint64 { return o.commitCycle }
+
+// Retire advances the model by one (architecturally retired) instruction.
+func (o *OoO) Retire(r *Retired) {
+	// Front end: I-cache line transitions stall fetch, as in Timing.
+	line := (r.Addr & o.lineMask) + 1
+	if line != o.lastLine {
+		lat := o.hier.Fetch(r.Addr)
+		if lat > o.hier.Lat.L1 {
+			stall := o.dispatchCycle + (lat - o.hier.Lat.L1)
+			if stall > o.feReady {
+				o.feReady = stall
+			}
+		}
+		o.lastLine = line
+	}
+
+	// Dispatch: in order, DispatchWidth per cycle, gated by ROB capacity
+	// (the entry of instruction i−ROBSize must have committed).
+	dispatch := o.dispatchCycle
+	if o.feReady > dispatch {
+		dispatch = o.feReady
+	}
+	if o.count >= uint64(o.cfg.ROBSize) {
+		if free := o.commitRing[o.ringPos]; free > dispatch {
+			dispatch = free
+		}
+	}
+	if dispatch == o.dispatchCycle {
+		if o.dispatched >= o.cfg.DispatchWidth {
+			dispatch++
+			o.dispatched = 0
+		}
+	} else {
+		o.dispatched = 0
+	}
+	o.dispatched++
+	o.dispatchCycle = dispatch
+
+	// Execute: dataflow — start when operands are ready, irrespective of
+	// older unfinished instructions.
+	execStart := dispatch
+	if r.Op.ReadsSrc1() && o.readyAt[r.Src1] > execStart {
+		execStart = o.readyAt[r.Src1]
+	}
+	if r.Op.ReadsSrc2() && o.readyAt[r.Src2] > execStart {
+		execStart = o.readyAt[r.Src2]
+	}
+	var lat uint64
+	switch r.Op.Class() {
+	case isa.ClassLoad:
+		lat = o.hier.Load(r.MemAddr)
+	case isa.ClassStore:
+		o.hier.Store(r.MemAddr)
+		lat = classLatency[isa.ClassStore]
+	default:
+		lat = classLatency[r.Op.Class()]
+	}
+	execEnd := execStart + lat
+	if r.Op.WritesDst() && r.Dst != isa.Zero {
+		o.readyAt[r.Dst] = execEnd
+	}
+
+	// Control resolution at execute.
+	if r.Op.IsControl() {
+		if o.resolveControl(r) {
+			redirect := execEnd + o.cfg.MispredictPenalty
+			if redirect > o.feReady {
+				o.feReady = redirect
+			}
+			o.lastLine = 0
+		}
+	}
+
+	// Commit: in order, CommitWidth per cycle, not before execution ends.
+	commit := o.commitCycle
+	if execEnd > commit {
+		commit = execEnd
+	}
+	if commit == o.commitCycle {
+		if o.committed >= o.cfg.CommitWidth {
+			commit++
+			o.committed = 0
+		}
+	} else {
+		o.committed = 0
+	}
+	o.committed++
+	o.commitCycle = commit
+
+	o.commitRing[o.ringPos] = commit
+	o.ringPos = (o.ringPos + 1) % o.cfg.ROBSize
+	o.count++
+}
+
+func (o *OoO) resolveControl(r *Retired) bool {
+	switch {
+	case r.Op.IsBranch():
+		return o.bp.Branch(r.Addr, r.Taken, r.TargetAddr)
+	case r.Op == isa.JAL:
+		return o.bp.Call(r.Addr, r.TargetAddr, r.ReturnAddr)
+	case r.Op == isa.JR && r.IsReturn:
+		return o.bp.Return(r.Addr, r.TargetAddr)
+	case r.Op == isa.JR:
+		return o.bp.Indirect(r.Addr, r.TargetAddr)
+	default:
+		return o.bp.Jump(r.Addr, r.TargetAddr)
+	}
+}
+
+// WarmControl trains the branch unit without charging timing.
+func (o *OoO) WarmControl(r *Retired) { o.resolveControl(r) }
+
+// OoOState is the serialisable pipeline state (see the checkpoint
+// package).
+type OoOState struct {
+	ReadyAt       [isa.NumRegs]uint64
+	CommitRing    []uint64
+	RingPos       int
+	Count         uint64
+	DispatchCycle uint64
+	Dispatched    int
+	CommitCycle   uint64
+	Committed     int
+	FEReady       uint64
+	LastLine      uint64
+}
+
+// SnapshotState implements Pipeline.
+func (o *OoO) SnapshotState() any {
+	return OoOState{
+		ReadyAt:       o.readyAt,
+		CommitRing:    append([]uint64(nil), o.commitRing...),
+		RingPos:       o.ringPos,
+		Count:         o.count,
+		DispatchCycle: o.dispatchCycle,
+		Dispatched:    o.dispatched,
+		CommitCycle:   o.commitCycle,
+		Committed:     o.committed,
+		FEReady:       o.feReady,
+		LastLine:      o.lastLine,
+	}
+}
+
+// RestoreState implements Pipeline.
+func (o *OoO) RestoreState(s any) error {
+	st, ok := s.(OoOState)
+	if !ok {
+		return fmt.Errorf("cpu: OoO restore from %T", s)
+	}
+	if len(st.CommitRing) != len(o.commitRing) {
+		return fmt.Errorf("cpu: OoO ROB size mismatch")
+	}
+	o.readyAt = st.ReadyAt
+	copy(o.commitRing, st.CommitRing)
+	o.ringPos = st.RingPos
+	o.count = st.Count
+	o.dispatchCycle = st.DispatchCycle
+	o.dispatched = st.Dispatched
+	o.commitCycle = st.CommitCycle
+	o.committed = st.Committed
+	o.feReady = st.FEReady
+	o.lastLine = st.LastLine
+	return nil
+}

@@ -1,0 +1,242 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"pgss/internal/isa"
+	"pgss/internal/program"
+)
+
+// oooCore builds an out-of-order core for prog.
+func oooCore(t *testing.T, prog *program.Program, rob int) *Core {
+	t.Helper()
+	cfg := DefaultCoreConfig()
+	cfg.Timing.Model = "ooo"
+	if rob > 0 {
+		cfg.Timing.OoO.ROBSize = rob
+	}
+	m := MustNewMachine(prog)
+	c, err := NewCore(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// chainWithIndependents builds a loop where every L2-busting load is
+// immediately consumed — stalling an in-order core at issue and blocking
+// all the independent work queued behind the consumer — while an
+// out-of-order core executes past the stalled consumer and overlaps the
+// misses of successive iterations (memory-level parallelism).
+func chainWithIndependents(t *testing.T) *program.Program {
+	return build(t, func(b *program.Builder) {
+		const wsWords = 1 << 21 // 16 MB: misses the L2
+		base := b.AllocData(wsWords)
+		b.LoadImm(isa.S2, int64(program.DataAddr(base)))
+		b.LoadImm(isa.S3, wsWords-1)
+		b.OpI(isa.ADDI, isa.T0, isa.Zero, 2000)
+		b.Label("loop")
+		// Load from a new line, consume it immediately.
+		b.OpI(isa.SLLI, isa.T1, isa.T0, 6) // ×64 words: distinct lines
+		b.Op(isa.AND, isa.T1, isa.T1, isa.S3)
+		b.OpI(isa.SLLI, isa.T1, isa.T1, 3)
+		b.Op(isa.ADD, isa.T1, isa.S2, isa.T1)
+		b.Load(isa.T2, isa.T1, 0)
+		b.Op(isa.ADD, isa.T3, isa.T3, isa.T2) // consumer: in-order stalls here
+		for i := 0; i < 16; i++ {             // independent work behind the stall
+			b.OpI(isa.ADDI, isa.Reg(16+i%8), isa.Zero, int64(i))
+		}
+		b.OpI(isa.ADDI, isa.T0, isa.T0, -1)
+		b.Branch(isa.BNE, isa.T0, isa.Zero, "loop")
+		b.Halt()
+	})
+}
+
+func TestUnknownModelRejected(t *testing.T) {
+	cfg := DefaultCoreConfig()
+	cfg.Timing.Model = "quantum"
+	if _, err := NewCore(MustNewMachine(build(t, func(b *program.Builder) { b.Halt() })), cfg); err == nil {
+		t.Error("unknown timing model accepted")
+	}
+}
+
+func TestOoOBeatsInOrderOnLatencyChains(t *testing.T) {
+	prog := chainWithIndependents(t)
+	inorder := newCore(t, prog)
+	_, inCycles := runDetailed(t, inorder)
+
+	ooo := oooCore(t, prog, 64)
+	var r Retired
+	for ooo.StepDetailed(&r) {
+	}
+	oooCycles := ooo.T.Cycle()
+	if float64(oooCycles) > 0.6*float64(inCycles) {
+		t.Errorf("OoO %d cycles vs in-order %d — insufficient overlap", oooCycles, inCycles)
+	}
+}
+
+func TestOoOArchitecturallyIdentical(t *testing.T) {
+	prog := chainWithIndependents(t)
+	inorder := newCore(t, prog)
+	var r Retired
+	for inorder.StepDetailed(&r) {
+	}
+	ooo := oooCore(t, prog, 64)
+	for ooo.StepDetailed(&r) {
+	}
+	if inorder.M.Retired() != ooo.M.Retired() {
+		t.Error("retired counts differ across models")
+	}
+	for reg := isa.Reg(0); reg < isa.NumRegs; reg++ {
+		if inorder.M.Reg(reg) != ooo.M.Reg(reg) {
+			t.Errorf("register %v differs across models", reg)
+		}
+	}
+}
+
+func TestROBSizeLimitsOverlap(t *testing.T) {
+	// A tiny ROB cannot slide past the long-latency chain, so it must be
+	// slower than a big one.
+	prog := chainWithIndependents(t)
+	small := oooCore(t, prog, 4)
+	var r Retired
+	for small.StepDetailed(&r) {
+	}
+	big := oooCore(t, prog, 128)
+	for big.StepDetailed(&r) {
+	}
+	if big.T.Cycle() >= small.T.Cycle() {
+		t.Errorf("ROB size had no effect: 4→%d cycles, 128→%d cycles",
+			small.T.Cycle(), big.T.Cycle())
+	}
+}
+
+func TestOoOCommitInOrderMonotone(t *testing.T) {
+	prog := chainWithIndependents(t)
+	c := oooCore(t, prog, 32)
+	var r Retired
+	last := uint64(0)
+	for c.StepDetailed(&r) {
+		now := c.T.Cycle()
+		if now < last {
+			t.Fatalf("commit cycle went backwards: %d < %d", now, last)
+		}
+		last = now
+	}
+	if last == 0 {
+		t.Error("no cycles charged")
+	}
+}
+
+func TestOoOMispredictPenalty(t *testing.T) {
+	// Same program with predictable vs random branches; the OoO model
+	// must charge for mispredictions too.
+	mk := func(random bool) *program.Program {
+		return build(t, func(b *program.Builder) {
+			base := b.AllocData(1 << 10)
+			rng := rand.New(rand.NewSource(11))
+			for i := 0; i < 1<<10; i++ {
+				v := int64(0)
+				if random && rng.Intn(2) == 1 {
+					v = 1
+				}
+				b.InitData(base+i, v)
+			}
+			b.LoadImm(isa.S2, int64(program.DataAddr(base)))
+			b.OpI(isa.ADDI, isa.T0, isa.Zero, 1023)
+			b.Label("loop")
+			b.OpI(isa.SLLI, isa.T1, isa.T0, 3)
+			b.Op(isa.ADD, isa.T1, isa.S2, isa.T1)
+			b.Load(isa.T2, isa.T1, 0)
+			b.Branch(isa.BNE, isa.T2, isa.Zero, "odd")
+			b.OpI(isa.ADDI, isa.T4, isa.T4, 1) // balanced arms: 2 ops each
+			b.Jump("join")
+			b.Label("odd")
+			b.OpI(isa.ADDI, isa.T5, isa.T5, 1)
+			b.OpI(isa.ADDI, isa.T6, isa.T6, 1)
+			b.Label("join")
+			b.OpI(isa.ADDI, isa.T0, isa.T0, -1)
+			b.Branch(isa.BGE, isa.T0, isa.Zero, "loop")
+			b.Halt()
+		})
+	}
+	pred := oooCore(t, mk(false), 64) // branch never taken: predictable
+	var r Retired
+	for pred.StepDetailed(&r) {
+	}
+	rnd := oooCore(t, mk(true), 64) // data-dependent, poorly predictable
+	for rnd.StepDetailed(&r) {
+	}
+	if rnd.BP.Stats().MispredictRate() < 0.05 {
+		t.Skip("pattern was predictable; adjust generator")
+	}
+	predCPI := float64(pred.T.Cycle()) / float64(pred.M.Retired())
+	rndCPI := float64(rnd.T.Cycle()) / float64(rnd.M.Retired())
+	if rndCPI <= predCPI {
+		t.Errorf("mispredictions free under OoO: CPI %.3f vs %.3f", rndCPI, predCPI)
+	}
+}
+
+func TestOoOSnapshotRestore(t *testing.T) {
+	prog := chainWithIndependents(t)
+	c := oooCore(t, prog, 32)
+	var r Retired
+	for i := 0; i < 5000; i++ {
+		if !c.StepDetailed(&r) {
+			t.Fatal("program too short")
+		}
+	}
+	snap := c.T.SnapshotState()
+	run := func() uint64 {
+		for i := 0; i < 3000; i++ {
+			if !c.StepDetailed(&r) {
+				break
+			}
+		}
+		return c.T.Cycle()
+	}
+	// The machine and caches also advance; restore only checks the
+	// pipeline component determinism, so rewind everything.
+	mSnap := c.M.Snapshot()
+	l1i, l1d, l2 := c.Hier.L1I.Snapshot(), c.Hier.L1D.Snapshot(), c.Hier.L2.Snapshot()
+	bp := c.BP.Snapshot()
+	c1 := run()
+	if err := c.T.RestoreState(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.M.Restore(mSnap); err != nil {
+		t.Fatal(err)
+	}
+	c.Hier.L1I.Restore(l1i)
+	c.Hier.L1D.Restore(l1d)
+	c.Hier.L2.Restore(l2)
+	c.BP.Restore(bp)
+	c2 := run()
+	if c1 != c2 {
+		t.Errorf("restored OoO continuation diverged: %d vs %d cycles", c1, c2)
+	}
+	// Restoring the wrong state type fails.
+	if err := c.T.RestoreState(42); err == nil {
+		t.Error("bogus state accepted")
+	}
+	if err := c.T.RestoreState(OoOState{}); err == nil {
+		t.Error("mismatched ROB state accepted")
+	}
+}
+
+func TestOoOSamplingPipelineWorks(t *testing.T) {
+	// Sampled simulation must run unchanged over the OoO model: the IPC
+	// estimate tracks the OoO truth, not the in-order one.
+	prog := chainWithIndependents(t)
+	c := oooCore(t, prog, 64)
+	var r Retired
+	var ops uint64
+	for c.StepDetailed(&r) {
+		ops++
+	}
+	oooIPC := float64(ops) / float64(c.T.Cycle())
+	if oooIPC <= 0 {
+		t.Fatal("no IPC")
+	}
+}

@@ -1,0 +1,268 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"pgss/internal/isa"
+	"pgss/internal/program"
+)
+
+// newCore builds a default core for prog.
+func newCore(t *testing.T, prog *program.Program) *Core {
+	t.Helper()
+	m := MustNewMachine(prog)
+	c, err := NewCore(m, DefaultCoreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// runDetailed runs to halt and returns (retired, cycles).
+func runDetailed(t *testing.T, c *Core) (uint64, uint64) {
+	t.Helper()
+	var r Retired
+	for c.StepDetailed(&r) {
+	}
+	if err := c.M.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return c.M.Retired(), c.T.Cycle()
+}
+
+func TestIndependentALUReachesWidth(t *testing.T) {
+	// A long run of independent single-cycle ops on warmed I-cache should
+	// approach IPC 4.
+	p := build(t, func(b *program.Builder) {
+		b.OpI(isa.ADDI, isa.T0, isa.Zero, 200)
+		b.Label("loop")
+		for i := 0; i < 32; i++ {
+			// S0..S7: independent of the loop counter in T0.
+			b.OpI(isa.ADDI, isa.Reg(16+i%8), isa.Zero, int64(i))
+		}
+		b.OpI(isa.ADDI, isa.T0, isa.T0, -1)
+		b.Branch(isa.BNE, isa.T0, isa.Zero, "loop")
+		b.Halt()
+	})
+	ops, cycles := runDetailed(t, newCore(t, p))
+	ipc := float64(ops) / float64(cycles)
+	// The loop-carried counter and taken back-branch keep it below the
+	// full width of 4; well above the serial-chain limit of 1 is the
+	// property under test.
+	if ipc < 2.5 {
+		t.Errorf("independent ALU IPC = %.2f, want > 2.5", ipc)
+	}
+}
+
+func TestSerialChainLimitsIPC(t *testing.T) {
+	// A fully serial dependency chain cannot exceed IPC 1.
+	p := build(t, func(b *program.Builder) {
+		b.OpI(isa.ADDI, isa.T0, isa.Zero, 200)
+		b.Label("loop")
+		for i := 0; i < 32; i++ {
+			b.OpI(isa.ADDI, isa.T1, isa.T1, 1)
+		}
+		b.OpI(isa.ADDI, isa.T0, isa.T0, -1)
+		b.Branch(isa.BNE, isa.T0, isa.Zero, "loop")
+		b.Halt()
+	})
+	ops, cycles := runDetailed(t, newCore(t, p))
+	ipc := float64(ops) / float64(cycles)
+	if ipc > 1.15 {
+		t.Errorf("serial chain IPC = %.2f, want ≈ 1", ipc)
+	}
+}
+
+func TestFPLatencySlowsChains(t *testing.T) {
+	mk := func(op isa.Opcode) *program.Program {
+		return build(t, func(b *program.Builder) {
+			b.OpI(isa.ADDI, isa.T0, isa.Zero, 500)
+			b.Label("loop")
+			for i := 0; i < 16; i++ {
+				b.Op(op, isa.T1, isa.T1, isa.T2)
+			}
+			b.OpI(isa.ADDI, isa.T0, isa.T0, -1)
+			b.Branch(isa.BNE, isa.T0, isa.Zero, "loop")
+			b.Halt()
+		})
+	}
+	_, intCycles := runDetailed(t, newCore(t, mk(isa.ADD)))
+	_, fpCycles := runDetailed(t, newCore(t, mk(isa.FADD)))
+	_, divCycles := runDetailed(t, newCore(t, mk(isa.FDIV)))
+	if !(intCycles < fpCycles && fpCycles < divCycles) {
+		t.Errorf("latency ordering violated: add=%d fadd=%d fdiv=%d",
+			intCycles, fpCycles, divCycles)
+	}
+	// FADD latency 3 → serial chain ≈ 3× the ADD chain.
+	ratio := float64(fpCycles) / float64(intCycles)
+	if ratio < 2 || ratio > 4 {
+		t.Errorf("FADD/ADD cycle ratio = %.2f, want ≈ 3", ratio)
+	}
+}
+
+func TestCacheMissesSlowLoads(t *testing.T) {
+	mk := func(wsWords int) *program.Program {
+		return build(t, func(b *program.Builder) {
+			base := b.AllocData(wsWords)
+			b.LoadImm(isa.S2, int64(program.DataAddr(base)))
+			b.LoadImm(isa.S3, int64(wsWords-1))
+			b.OpI(isa.ADDI, isa.T0, isa.Zero, 30000)
+			b.Label("loop")
+			b.Op(isa.AND, isa.T1, isa.T0, isa.S3)
+			b.OpI(isa.SLLI, isa.T1, isa.T1, 3)
+			b.Op(isa.ADD, isa.T1, isa.S2, isa.T1)
+			b.Load(isa.T2, isa.T1, 0)
+			b.Op(isa.ADD, isa.T3, isa.T3, isa.T2) // use the load
+			b.OpI(isa.ADDI, isa.T0, isa.T0, -8)   // new line each iteration
+			b.Branch(isa.BGE, isa.T0, isa.Zero, "loop")
+			b.Halt()
+		})
+	}
+	_, smallCycles := runDetailed(t, newCore(t, mk(1<<10))) // 8 KB: L1-resident
+	_, hugeCycles := runDetailed(t, newCore(t, mk(1<<21)))  // 16 MB: misses L2
+	if float64(hugeCycles) < 3*float64(smallCycles) {
+		t.Errorf("L2-busting loads not slower: small=%d huge=%d", smallCycles, hugeCycles)
+	}
+}
+
+func TestMispredictionsCostCycles(t *testing.T) {
+	// Data-dependent 50/50 branches vs always-taken branches, same
+	// instruction count.
+	mk := func(random bool) *program.Program {
+		return build(t, func(b *program.Builder) {
+			base := b.AllocData(1 << 10)
+			rng := rand.New(rand.NewSource(12))
+			for i := 0; i < 1<<10; i++ {
+				v := int64(0)
+				if random && rng.Intn(2) == 1 {
+					v = 1
+				}
+				b.InitData(base+i, v)
+			}
+			b.LoadImm(isa.S2, int64(program.DataAddr(base)))
+			b.OpI(isa.ADDI, isa.T0, isa.Zero, 1023)
+			b.Label("loop")
+			b.OpI(isa.SLLI, isa.T1, isa.T0, 3)
+			b.Op(isa.ADD, isa.T1, isa.S2, isa.T1)
+			b.Load(isa.T2, isa.T1, 0)
+			b.Branch(isa.BNE, isa.T2, isa.Zero, "odd")
+			b.OpI(isa.ADDI, isa.T3, isa.T3, 1)
+			b.Jump("join")
+			b.Label("odd")
+			b.OpI(isa.ADDI, isa.T4, isa.T4, 1)
+			b.OpI(isa.ADDI, isa.T5, isa.T5, 1)
+			b.Label("join")
+			b.OpI(isa.ADDI, isa.T0, isa.T0, -1)
+			b.Branch(isa.BGE, isa.T0, isa.Zero, "loop")
+			b.Halt()
+		})
+	}
+	cPred := newCore(t, mk(false))
+	_, predCycles := runDetailed(t, cPred)
+	cRand := newCore(t, mk(true))
+	_, randCycles := runDetailed(t, cRand)
+	if cRand.BP.Stats().MispredictRate() < 0.05 {
+		t.Skip("random pattern was predictable; adjust generator")
+	}
+	if randCycles <= predCycles {
+		t.Errorf("mispredictions free: predictable=%d random=%d", predCycles, randCycles)
+	}
+}
+
+func TestWarmModeMatchesDetailedArchitecturally(t *testing.T) {
+	spec := build(t, func(b *program.Builder) {
+		base := b.AllocData(256)
+		b.LoadImm(isa.S2, int64(program.DataAddr(base)))
+		b.OpI(isa.ADDI, isa.T0, isa.Zero, 100)
+		b.Label("loop")
+		b.OpI(isa.ANDI, isa.T1, isa.T0, 255)
+		b.OpI(isa.SLLI, isa.T1, isa.T1, 3)
+		b.Op(isa.ADD, isa.T1, isa.S2, isa.T1)
+		b.Store(isa.T0, isa.T1, 0)
+		b.Load(isa.T2, isa.T1, 0)
+		b.OpI(isa.ADDI, isa.T0, isa.T0, -1)
+		b.Branch(isa.BNE, isa.T0, isa.Zero, "loop")
+		b.Halt()
+	})
+	cd := newCore(t, spec)
+	var r Retired
+	for cd.StepDetailed(&r) {
+	}
+	cw := newCore(t, spec)
+	for cw.StepWarm(&r) {
+	}
+	cf := newCore(t, spec)
+	for cf.StepFF(&r) {
+	}
+	if cd.M.Retired() != cw.M.Retired() || cd.M.Retired() != cf.M.Retired() {
+		t.Error("modes retired different op counts")
+	}
+	for reg := isa.Reg(0); reg < isa.NumRegs; reg++ {
+		if cd.M.Reg(reg) != cw.M.Reg(reg) || cd.M.Reg(reg) != cf.M.Reg(reg) {
+			t.Errorf("register %v differs across modes", reg)
+		}
+	}
+}
+
+func TestWarmModeWarmsCaches(t *testing.T) {
+	spec := build(t, func(b *program.Builder) {
+		base := b.AllocData(8)
+		b.LoadImm(isa.S2, int64(program.DataAddr(base)))
+		b.Load(isa.T0, isa.S2, 0)
+		b.Halt()
+	})
+	c := newCore(t, spec)
+	var r Retired
+	for c.StepWarm(&r) {
+	}
+	if c.Hier.L1D.Stats().Accesses == 0 {
+		t.Error("warm mode did not touch the D-cache")
+	}
+	if !c.Hier.L1D.Contains(program.DataAddr(0)) {
+		t.Error("warm mode did not install the line")
+	}
+	if c.T.Cycle() != 0 {
+		t.Error("warm mode charged cycles")
+	}
+}
+
+func TestPlainFFTouchesNothing(t *testing.T) {
+	spec := build(t, func(b *program.Builder) {
+		base := b.AllocData(8)
+		b.LoadImm(isa.S2, int64(program.DataAddr(base)))
+		b.Load(isa.T0, isa.S2, 0)
+		b.Halt()
+	})
+	c := newCore(t, spec)
+	var r Retired
+	for c.StepFF(&r) {
+	}
+	if c.Hier.L1D.Stats().Accesses != 0 || c.T.Cycle() != 0 {
+		t.Error("plain FF disturbed microarchitectural state")
+	}
+}
+
+func TestCyclesMonotoneNondecreasing(t *testing.T) {
+	spec := build(t, func(b *program.Builder) {
+		b.OpI(isa.ADDI, isa.T0, isa.Zero, 50)
+		b.Label("loop")
+		b.Op(isa.MUL, isa.T1, isa.T0, isa.T0)
+		b.OpI(isa.ADDI, isa.T0, isa.T0, -1)
+		b.Branch(isa.BNE, isa.T0, isa.Zero, "loop")
+		b.Halt()
+	})
+	c := newCore(t, spec)
+	var r Retired
+	last := uint64(0)
+	for c.StepDetailed(&r) {
+		now := c.T.Cycle()
+		if now < last {
+			t.Fatalf("cycle counter went backwards: %d < %d", now, last)
+		}
+		last = now
+	}
+	if last == 0 {
+		t.Error("no cycles charged")
+	}
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pgss/internal/bbv"
+	"pgss/internal/core"
+	"pgss/internal/cpu"
+	"pgss/internal/profile"
+	"pgss/internal/sampling"
+	"pgss/internal/stats"
+	"pgss/internal/workload"
+)
+
+// Ablations evaluates the design choices DESIGN.md calls out: the
+// cosine-angle distance vs SimPoint's Manhattan distance, the sample
+// spread rule, current-phase-first classification, confidence-bound
+// stopping vs a fixed per-phase budget, and the BBV hash width.
+func Ablations(s *Suite) (*Report, error) {
+	r := NewReport("ablation", "PGSS design-choice ablations")
+	if err := ablationDistance(s, r); err != nil {
+		return nil, err
+	}
+	if err := ablationSpread(s, r); err != nil {
+		return nil, err
+	}
+	if err := ablationClassify(s, r); err != nil {
+		return nil, err
+	}
+	if err := ablationConfidence(s, r); err != nil {
+		return nil, err
+	}
+	if err := ablationHashBits(s, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// sweepStats runs PGSS over the ten benchmarks with the given config and
+// returns mean error, mean samples, mean comparisons.
+func sweepStats(s *Suite, cfg core.Config) (errPct, samples, comparisons float64, err error) {
+	profiles, err := s.PaperTen()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	var errs, ns, cs []float64
+	for _, p := range profiles {
+		res, st, e := core.Run(sampling.NewProfileTarget(p), cfg)
+		if e != nil {
+			return 0, 0, 0, e
+		}
+		errs = append(errs, res.ErrorPct())
+		ns = append(ns, float64(res.Samples))
+		cs = append(cs, float64(st.Comparisons))
+	}
+	return stats.Mean(errs), stats.Mean(ns), stats.Mean(cs), nil
+}
+
+func ablationDistance(s *Suite, r *Report) error {
+	t := r.AddTable("distance metric (angle vs Manhattan), 10-benchmark means",
+		"metric", "threshold", "mean_error", "mean_samples")
+	base := core.DefaultConfig(s.Scale())
+	e, n, _, err := sweepStats(s, base)
+	if err != nil {
+		return err
+	}
+	t.AddRow("angle", ".05π", pct(e), f2(n))
+	r.Metrics["angle_err"] = e
+
+	bestErr, bestTh, bestN := -1.0, 0.0, 0.0
+	for _, th := range []float64{0.05, 0.1, 0.2, 0.3, 0.45} {
+		cfg := base
+		cfg.Manhattan = true
+		cfg.ThresholdPi = th // interpreted directly as an L1 distance
+		e, n, _, err := sweepStats(s, cfg)
+		if err != nil {
+			return err
+		}
+		t.AddRow("manhattan", fmt.Sprintf("L1=%.2f", th), pct(e), f2(n))
+		if bestErr < 0 || e < bestErr {
+			bestErr, bestTh, bestN = e, th, n
+		}
+	}
+	r.Metrics["manhattan_best_err"] = bestErr
+	r.Notef("distance ablation: angle .05π %.2f%% vs best Manhattan (L1=%.2f) %.2f%% at %.0f vs %.0f samples",
+		e, bestTh, bestErr, n, bestN)
+	return nil
+}
+
+func ablationSpread(s *Suite, r *Report) error {
+	t := r.AddTable("sample spread rule, 10-benchmark means",
+		"spread", "mean_error", "mean_samples")
+	base := core.DefaultConfig(s.Scale())
+	e1, n1, _, err := sweepStats(s, base)
+	if err != nil {
+		return err
+	}
+	t.AddRow("on (1M/scale)", pct(e1), f2(n1))
+	off := base
+	off.DisableSpread = true
+	e2, n2, _, err := sweepStats(s, off)
+	if err != nil {
+		return err
+	}
+	t.AddRow("off", pct(e2), f2(n2))
+	r.Metrics["spread_on_err"] = e1
+	r.Metrics["spread_off_err"] = e2
+	r.Notef("spread ablation: on=%.2f%%/%.0f samples, off=%.2f%%/%.0f samples (paper §3: spreading captures temporal variation)",
+		e1, n1, e2, n2)
+	return nil
+}
+
+func ablationClassify(s *Suite, r *Report) error {
+	t := r.AddTable("classification order, 10-benchmark means",
+		"order", "mean_error", "mean_comparisons")
+	base := core.DefaultConfig(s.Scale())
+	e1, _, c1, err := sweepStats(s, base)
+	if err != nil {
+		return err
+	}
+	t.AddRow("current phase first", pct(e1), f2(c1))
+	alt := base
+	alt.NoCurrentFirst = true
+	e2, _, c2, err := sweepStats(s, alt)
+	if err != nil {
+		return err
+	}
+	t.AddRow("full search always", pct(e2), f2(c2))
+	r.Metrics["comparisons_saved_pct"] = (1 - c1/c2) * 100
+	r.Notef("current-first saves %.0f%% of BBV comparisons at equal accuracy", (1-c1/c2)*100)
+	return nil
+}
+
+func ablationConfidence(s *Suite, r *Report) error {
+	t := r.AddTable("per-phase stopping rule, 10-benchmark means",
+		"rule", "mean_error", "mean_samples")
+	base := core.DefaultConfig(s.Scale())
+	e1, n1, _, err := sweepStats(s, base)
+	if err != nil {
+		return err
+	}
+	t.AddRow("confidence bound 3%@99.7%", pct(e1), f2(n1))
+	for _, budget := range []uint64{8, 32} {
+		cfg := base
+		cfg.DisableConfidence = true
+		cfg.MinSamples = budget
+		e, n, _, err := sweepStats(s, cfg)
+		if err != nil {
+			return err
+		}
+		t.AddRow(fmt.Sprintf("fixed %d per phase", budget), pct(e), f2(n))
+		r.Metrics[fmt.Sprintf("fixed%d_err", budget)] = e
+	}
+	r.Metrics["confidence_err"] = e1
+	return nil
+}
+
+func ablationHashBits(s *Suite, r *Report) error {
+	// Hash width changes the recorded BBVs, so this ablation records its
+	// own small profiles.
+	t := r.AddTable("BBV hash width (3 benchmarks at reduced size)",
+		"bits", "registers", "mean_error", "mean_phases")
+	const ops = 20_000_000
+	names := []string{"164.gzip", "188.ammp", "253.perlbmk"}
+	for _, bits := range []int{3, 4, 5, 6, 8} {
+		hash, err := bbv.NewHash(bits, s.opts.HashSeed)
+		if err != nil {
+			return err
+		}
+		var errs, phases []float64
+		for _, name := range names {
+			spec, err := workload.Get(name)
+			if err != nil {
+				return err
+			}
+			prog, err := spec.Build(ops)
+			if err != nil {
+				return err
+			}
+			c, err := cpu.NewCore(cpu.MustNewMachine(prog), cpu.DefaultCoreConfig())
+			if err != nil {
+				return err
+			}
+			p, err := profile.Record(c, hash, profile.DefaultConfig())
+			if err != nil {
+				return err
+			}
+			res, st, err := core.Run(sampling.NewProfileTarget(p), core.DefaultConfig(s.Scale()))
+			if err != nil {
+				return err
+			}
+			errs = append(errs, res.ErrorPct())
+			phases = append(phases, float64(st.Phases))
+		}
+		t.AddRow(fmt.Sprintf("%d", bits), fmt.Sprintf("%d", 1<<bits),
+			pct(stats.Mean(errs)), f2(stats.Mean(phases)))
+		r.Metrics[fmt.Sprintf("hash%d_err", bits)] = stats.Mean(errs)
+	}
+	r.Notef("the paper's 5-bit hash sits at the knee: fewer bits alias phases, more bits add little")
+	return nil
+}

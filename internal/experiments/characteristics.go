@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"pgss/internal/phase"
+)
+
+// Characteristics produces the benchmark-characterisation table the
+// evaluation rests on (the paper describes these properties in prose in
+// §5): per benchmark, the true IPC, the interval-IPC standard deviation at
+// the analysis granularity, σ/IPC, and the phase structure visible at the
+// paper's overall threshold.
+func Characteristics(s *Suite) (*Report, error) {
+	profiles, err := s.PaperTen()
+	if err != nil {
+		return nil, err
+	}
+	r := NewReport("characteristics", "benchmark suite characteristics")
+	gran := analysisGran(s)
+
+	t := r.AddTable(fmt.Sprintf("per-benchmark characteristics (interval = %d ops, threshold .05π)", gran),
+		"benchmark", "ops", "IPC", "σ(IPC)", "σ/IPC", "phases", "transitions", "mean_run(ops)")
+	for _, p := range profiles {
+		sigma := p.IntervalStdDev(gran)
+		bbvs := p.BBVSeries(gran)
+		n := p.NumFullWindows(gran)
+		if len(bbvs) < n {
+			n = len(bbvs)
+		}
+		table := phase.MustNewTable(0.05 * math.Pi)
+		table.ClassifySeries(bbvs[:n], gran)
+
+		t.AddRow(shortName(p.Benchmark), eng(float64(p.TotalOps)),
+			f3(p.TrueIPC()), f3(sigma), f3(sigma/p.TrueIPC()),
+			fmt.Sprintf("%d", table.NumPhases()),
+			fmt.Sprintf("%d", table.Transitions),
+			eng(table.MeanRunLength()*float64(gran)))
+		r.Metrics["ipc_"+shortName(p.Benchmark)] = p.TrueIPC()
+	}
+	r.Notef("179.art/181.mcf carry the suite's lowest IPCs (their errors inflate in percentage terms, §5); 300.twolf has the weakest coarse phase behaviour")
+	return r, nil
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"pgss/internal/sampling"
+	"pgss/internal/timemodel"
+)
+
+// Fig13 regenerates Figure 13: total simulation time over the ten
+// benchmarks for SMARTS, SimPoint (10 clusters × 100M ops), online
+// SimPoint (100M/.1π) and PGSS-Sim (1M/.05π), priced with the per-mode
+// simulation rates the paper measured for its simulator (no
+// checkpointing). Costs come from the same runs as Fig 12; only the
+// overall configurations are shown, as in the paper.
+func Fig13(s *Suite) (*Report, error) {
+	d, err := runFig12(s)
+	if err != nil {
+		return nil, err
+	}
+	r := NewReport("fig13", "total simulation time by technique (paper per-mode rates)")
+	rates := timemodel.PaperRates()
+
+	rows := []struct {
+		figLabel string
+		runLabel string
+	}{
+		{"SMARTS", "SMARTS"},
+		{"SimPoint", "SimPoint(10x100M)"},
+		{"OL SimPoint", "OnlineSP(100M/.1)"},
+		{"PGSS-Sim", "PGSS(1M/.05)"},
+	}
+	t := r.AddTable("simulation time (seconds, 10 benchmarks summed)",
+		"technique", "plain_ff", "functional_warm", "detailed_warm", "detailed", "detailed_total", "total")
+	for _, row := range rows {
+		tr := d.ByLabel(row.runLabel)
+		if tr == nil {
+			continue
+		}
+		var costs []sampling.Costs
+		for _, res := range tr.results {
+			costs = append(costs, res.Costs)
+		}
+		b := rates.ApplyAll(costs)
+		t.AddRow(row.figLabel, f2(b.PlainFFSec), f2(b.FunctionalSec),
+			f2(b.DetailedWarmSec), f2(b.DetailedSec), f2(b.DetailedTotal()), f2(b.Total()))
+		r.Metrics["total_sec_"+row.figLabel] = b.Total()
+		r.Metrics["detailed_sec_"+row.figLabel] = b.DetailedTotal()
+	}
+
+	rt := r.AddTable("per-mode simulation rates (paper §6)",
+		"mode", "ops/sec")
+	rt.AddRow("fast-forward with BBV", eng(rates.PlainFFBBV))
+	rt.AddRow("functional fast-forward (warming)", eng(rates.FunctionalWarm))
+	rt.AddRow("detailed warming", eng(rates.DetailedWarm))
+	rt.AddRow("detailed simulation", eng(rates.Detailed))
+
+	r.Notef("PGSS detailed warming+simulation: %.0f s across the suite (paper: ≈380 s at SPEC scale); totals are dominated by fast-forwarding for every technique, as in the paper",
+		r.Metrics["detailed_sec_PGSS-Sim"])
+	return r, nil
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pgss/internal/stats"
+)
+
+// Fig3 regenerates Figure 3: IPC versus time for 168.wupwise together with
+// the distribution of IPC over the whole execution. The paper's point: the
+// distribution is polymodal (one mode per phase), so SMARTS-style
+// single-Gaussian confidence analysis overestimates variation.
+func Fig3(s *Suite) (*Report, error) {
+	const bench = "168.wupwise"
+	p, err := s.Profile(bench)
+	if err != nil {
+		return nil, err
+	}
+	r := NewReport("fig3", fmt.Sprintf("IPC over time and IPC distribution for %s", bench))
+
+	gran := 100_000 / s.Scale() * 10 // plot at 10× the fine analysis window
+	if gran == 0 {
+		gran = p.BBVOps
+	}
+	series := p.IPCSeries(gran)
+
+	t := r.AddTable("IPC vs ops", "ops_completed", "ipc")
+	step := 1
+	if len(series) > 60 {
+		step = len(series) / 60
+	}
+	for i := 0; i < len(series); i += step {
+		t.AddRow(fmt.Sprintf("%d", uint64(i)*gran), f4(series[i]))
+	}
+
+	// Distribution, cycle-weighted as in the paper ("approximate number of
+	// cycles spent in each IPC bin").
+	max := stats.Percentile(series, 100) * 1.05
+	if max <= 0 {
+		max = 1
+	}
+	hist := stats.MustNewHistogram(0, max, 28)
+	for _, ipc := range series {
+		if ipc > 0 {
+			hist.AddN(ipc, uint64(float64(gran)/ipc)) // cycles in the bin
+		}
+	}
+	d := r.AddTable("IPC distribution (cycle-weighted)", "ipc_bin", "fraction")
+	for i := range hist.Counts {
+		d.AddRow(f3(hist.BinCenter(i)), f4(hist.Fraction(i)))
+	}
+
+	modes := hist.Modes(0.02)
+	r.Metrics["distribution_modes"] = float64(len(modes))
+	r.Metrics["ipc_mean"] = stats.Mean(series)
+	r.Metrics["ipc_stddev"] = stats.StdDev(series)
+	if len(modes) >= 2 {
+		r.Notef("distribution is polymodal with %d modes (paper: non-Gaussian, one mode per phase)", len(modes))
+	} else {
+		r.Notef("WARNING: expected ≥2 modes, found %d", len(modes))
+	}
+	return r, nil
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FigFunc regenerates one paper figure.
+type FigFunc func(*Suite) (*Report, error)
+
+// Figures maps figure IDs to their regenerators. Figure 6 is a taxonomy
+// illustration realised inside the Fig 7–9 machinery; Figures 1, 4, 5 are
+// architecture diagrams with no data.
+var Figures = map[string]FigFunc{
+	"fig2":  Fig2,
+	"fig3":  Fig3,
+	"fig7":  Fig7,
+	"fig8":  Fig8,
+	"fig9":  Fig9,
+	"fig10": Fig10,
+	"fig11": Fig11,
+	"fig12": Fig12,
+	"fig13": Fig13,
+	// Not paper figures: the design-choice ablations from DESIGN.md and
+	// the §7 future-work extensions.
+	"ablation":        Ablations,
+	"characteristics": Characteristics,
+	"coverage":        Coverage,
+	"extensions":      Extensions,
+}
+
+// FigureIDs returns the available figure IDs in numeric order, with
+// non-figure experiments (the ablations) last.
+func FigureIDs() []string {
+	ids := make([]string, 0, len(Figures))
+	for id := range Figures {
+		ids = append(ids, id)
+	}
+	num := func(id string) int {
+		var n int
+		if _, err := fmt.Sscanf(id, "fig%d", &n); err != nil {
+			return 1 << 20 // non-figures sort last
+		}
+		return n
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		ni, nj := num(ids[i]), num(ids[j])
+		if ni != nj {
+			return ni < nj
+		}
+		return ids[i] < ids[j] // non-figures: alphabetical
+	})
+	return ids
+}
+
+// Run regenerates one figure by ID.
+func Run(s *Suite, id string) (*Report, error) {
+	f, ok := Figures[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown figure %q (have %v)", id, FigureIDs())
+	}
+	return f(s)
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Table is one named, column-aligned table of a report.
+type Table struct {
+	Name   string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Name != "" {
+		fmt.Fprintf(w, "-- %s --\n", t.Name)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(w, "%-*s", widths[i], c)
+			} else {
+				fmt.Fprint(w, c)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// Report is the regenerated content of one paper figure.
+type Report struct {
+	ID     string // "fig2", ...
+	Title  string
+	Tables []*Table
+	Notes  []string
+	// Metrics holds the headline numbers benchmarks and EXPERIMENTS.md
+	// record, keyed by a stable name.
+	Metrics map[string]float64
+}
+
+// NewReport builds an empty report.
+func NewReport(id, title string) *Report {
+	return &Report{ID: id, Title: title, Metrics: map[string]float64{}}
+}
+
+// AddTable appends and returns a new table.
+func (r *Report) AddTable(name string, header ...string) *Table {
+	t := &Table{Name: name, Header: header}
+	r.Tables = append(r.Tables, t)
+	return t
+}
+
+// Notef appends a formatted note.
+func (r *Report) Notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the whole report.
+func (r *Report) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "==== %s: %s ====\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		fmt.Fprintln(w)
+		t.Fprint(w)
+	}
+	if len(r.Metrics) > 0 {
+		fmt.Fprintln(w, "\nmetrics:")
+		for _, k := range sortedKeys(r.Metrics) {
+			fmt.Fprintf(w, "  %-46s %g\n", k, r.Metrics[k])
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCSV writes every table of the report as a CSV file under dir,
+// named <reportID>_<table-index>_<slug>.csv, for plotting outside the
+// harness.
+func (r *Report) WriteCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, t := range r.Tables {
+		slug := strings.Map(func(c rune) rune {
+			switch {
+			case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+				return c
+			case c >= 'A' && c <= 'Z':
+				return c + ('a' - 'A')
+			case c == ' ', c == '-', c == '_':
+				return '_'
+			default:
+				return -1
+			}
+		}, t.Name)
+		if len(slug) > 48 {
+			slug = slug[:48]
+		}
+		path := filepath.Join(dir, fmt.Sprintf("%s_%02d_%s.csv", r.ID, i, slug))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		w := csv.NewWriter(f)
+		if err := w.Write(t.Header); err != nil {
+			f.Close()
+			return err
+		}
+		for _, row := range t.Rows {
+			if err := w.Write(row); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		w.Flush()
+		if err := w.Error(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// f2, f3, f4 format floats at fixed precision; pct formats percents.
+func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }
+func f3(x float64) string  { return fmt.Sprintf("%.3f", x) }
+func f4(x float64) string  { return fmt.Sprintf("%.4f", x) }
+func pct(x float64) string { return fmt.Sprintf("%.2f%%", x) }
+func eng(x float64) string {
+	switch {
+	case x >= 1e9:
+		return fmt.Sprintf("%.2fG", x/1e9)
+	case x >= 1e6:
+		return fmt.Sprintf("%.2fM", x/1e6)
+	case x >= 1e3:
+		return fmt.Sprintf("%.1fk", x/1e3)
+	default:
+		return fmt.Sprintf("%.0f", x)
+	}
+}

@@ -1,0 +1,257 @@
+// Package experiments reproduces every figure of the paper's evaluation:
+// each FigN function regenerates the rows/series of the corresponding
+// figure from fresh (or cached) simulation, and the reports record the
+// metrics the paper's claims rest on.
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+
+	"pgss/internal/bbv"
+	"pgss/internal/cpu"
+	"pgss/internal/profile"
+	"pgss/internal/workload"
+)
+
+// schemaVersion invalidates cached profiles when the simulator or the
+// workload generator change behaviourally.
+const schemaVersion = 7
+
+// Options configures a Suite.
+type Options struct {
+	// Scale divides the paper's window parameters (sampling periods,
+	// interval sizes, spread rule); 10 is the default and corresponds to
+	// benchmarks one tenth the paper's SPEC length.
+	Scale uint64
+	// TotalOps overrides every benchmark's default length (0 = defaults).
+	TotalOps uint64
+	// SizeFactor scales every benchmark's default length (1.0 = defaults);
+	// ignored when TotalOps is set.
+	SizeFactor float64
+	// CacheDir persists recorded profiles between runs ("" = no cache).
+	CacheDir string
+	// HashSeed fixes the BBV hash bit selection.
+	HashSeed int64
+	// Quiet suppresses progress output to stderr.
+	Quiet bool
+}
+
+// DefaultOptions is the standard evaluation configuration.
+func DefaultOptions() Options {
+	return Options{Scale: 10, SizeFactor: 1.0, HashSeed: 42}
+}
+
+// Suite builds, caches and hands out benchmark profiles.
+type Suite struct {
+	opts     Options
+	hash     *bbv.Hash
+	profiles map[string]*profile.Profile
+}
+
+// NewSuite builds a Suite.
+func NewSuite(opts Options) (*Suite, error) {
+	if opts.Scale == 0 {
+		opts.Scale = 10
+	}
+	if opts.SizeFactor == 0 {
+		opts.SizeFactor = 1.0
+	}
+	hash, err := bbv.NewHash(bbv.DefaultHashBits, opts.HashSeed)
+	if err != nil {
+		return nil, err
+	}
+	return &Suite{opts: opts, hash: hash, profiles: map[string]*profile.Profile{}}, nil
+}
+
+// MustNewSuite is NewSuite that panics on error.
+func MustNewSuite(opts Options) *Suite {
+	s, err := NewSuite(opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Options returns the suite's options.
+func (s *Suite) Options() Options { return s.opts }
+
+// Hash returns the suite-wide BBV hash.
+func (s *Suite) Hash() *bbv.Hash { return s.hash }
+
+// Scale returns the parameter scale divisor.
+func (s *Suite) Scale() uint64 { return s.opts.Scale }
+
+func (s *Suite) targetOps(spec *workload.Spec) uint64 {
+	if s.opts.TotalOps > 0 {
+		return s.opts.TotalOps
+	}
+	return uint64(float64(spec.DefaultOps) * s.opts.SizeFactor)
+}
+
+func (s *Suite) cachePath(spec *workload.Spec) string {
+	if s.opts.CacheDir == "" {
+		return ""
+	}
+	return filepath.Join(s.opts.CacheDir, fmt.Sprintf("%s_ops%d_h%d_v%d.profile",
+		spec.Name, s.targetOps(spec), s.opts.HashSeed, schemaVersion))
+}
+
+func (s *Suite) logf(format string, args ...any) {
+	if !s.opts.Quiet {
+		fmt.Fprintf(os.Stderr, format, args...)
+	}
+}
+
+// Profile returns the detailed profile of the named benchmark, recording
+// it (one full detailed pass) on first use and caching in memory and, when
+// configured, on disk.
+func (s *Suite) Profile(name string) (*profile.Profile, error) {
+	if p, ok := s.profiles[name]; ok {
+		return p, nil
+	}
+	p, err := s.recordOne(name)
+	if err != nil {
+		return nil, err
+	}
+	s.profiles[name] = p
+	return p, nil
+}
+
+// PaperTenNames returns the ten evaluation benchmark names in figure
+// order.
+func PaperTenNames() []string {
+	specs := workload.PaperTen()
+	names := make([]string, len(specs))
+	for i, sp := range specs {
+		names[i] = sp.Name
+	}
+	return names
+}
+
+// PaperTen returns profiles of the ten evaluation benchmarks, recording
+// any missing ones in parallel (one independent simulator per benchmark).
+func (s *Suite) PaperTen() ([]*profile.Profile, error) {
+	names := PaperTenNames()
+	var missing []string
+	for _, n := range names {
+		if _, ok := s.profiles[n]; !ok {
+			missing = append(missing, n)
+		}
+	}
+	if len(missing) > 1 {
+		if err := s.recordParallel(missing); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]*profile.Profile, len(names))
+	for i, n := range names {
+		p, err := s.Profile(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// recordParallel records several benchmarks concurrently. Each worker owns
+// an independent simulator; only the result map is shared (written from
+// the collecting goroutine only).
+func (s *Suite) recordParallel(names []string) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(names) {
+		workers = len(names)
+	}
+	type item struct {
+		name string
+		p    *profile.Profile
+		err  error
+	}
+	in := make(chan string, len(names))
+	out := make(chan item, len(names))
+	for _, n := range names {
+		in <- n
+	}
+	close(in)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for n := range in {
+				p, err := s.recordOne(n)
+				out <- item{name: n, p: p, err: err}
+			}
+		}()
+	}
+	var firstErr error
+	for range names {
+		it := <-out
+		if it.err != nil {
+			if firstErr == nil {
+				firstErr = it.err
+			}
+			continue
+		}
+		s.profiles[it.name] = it.p
+	}
+	return firstErr
+}
+
+// recordOne loads or records one benchmark without touching the shared
+// profile map (parallel-safe).
+func (s *Suite) recordOne(name string) (*profile.Profile, error) {
+	spec, err := workload.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	if path := s.cachePath(spec); path != "" {
+		if p, err := profile.Load(path); err == nil {
+			return p, nil
+		}
+	}
+	s.logf("recording %s (%d ops)...\n", name, s.targetOps(spec))
+	prog, err := spec.Build(s.targetOps(spec))
+	if err != nil {
+		return nil, err
+	}
+	m, err := cpu.NewMachine(prog)
+	if err != nil {
+		return nil, err
+	}
+	core, err := cpu.NewCore(m, cpu.DefaultCoreConfig())
+	if err != nil {
+		return nil, err
+	}
+	p, err := profile.Record(core, s.hash, profile.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	if path := s.cachePath(spec); path != "" {
+		if err := p.Save(path); err != nil {
+			s.logf("profile cache write failed: %v\n", err)
+		}
+	}
+	return p, nil
+}
+
+// shortName strips the SPEC number prefix for compact table headers.
+func shortName(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '.' {
+			return name[i+1:]
+		}
+	}
+	return name
+}
+
+// sortedKeys returns map keys sorted (test/report determinism helper).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,154 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpcodeStrings(t *testing.T) {
+	for op := NOP; op < numOpcodes; op++ {
+		s := op.String()
+		if s == "" {
+			t.Errorf("opcode %d has empty name", op)
+		}
+		if s[0] == 'o' && s[1] == 'p' && s[2] == '(' {
+			t.Errorf("opcode %d has fallback name %q", op, s)
+		}
+	}
+	if got := Opcode(200).String(); got != "op(200)" {
+		t.Errorf("invalid opcode string = %q", got)
+	}
+}
+
+func TestOpcodeClasses(t *testing.T) {
+	cases := []struct {
+		op   Opcode
+		want Class
+	}{
+		{NOP, ClassNop}, {ADD, ClassALU}, {ADDI, ClassALU}, {LUI, ClassALU},
+		{MUL, ClassMul}, {DIV, ClassDiv},
+		{FADD, ClassFPAdd}, {FMUL, ClassFPMul}, {FDIV, ClassFPDiv},
+		{LD, ClassLoad}, {ST, ClassStore},
+		{BEQ, ClassBranch}, {BNE, ClassBranch}, {BLT, ClassBranch}, {BGE, ClassBranch},
+		{JMP, ClassJump}, {JAL, ClassJump}, {JR, ClassJump},
+		{HALT, ClassHalt},
+	}
+	for _, c := range cases {
+		if got := c.op.Class(); got != c.want {
+			t.Errorf("%v.Class() = %v, want %v", c.op, got, c.want)
+		}
+	}
+	if Opcode(250).Class() != ClassNop {
+		t.Error("invalid opcode should fall back to ClassNop")
+	}
+}
+
+func TestControlPredicates(t *testing.T) {
+	for op := NOP; op < numOpcodes; op++ {
+		isBranch := op == BEQ || op == BNE || op == BLT || op == BGE
+		if op.IsBranch() != isBranch {
+			t.Errorf("%v.IsBranch() = %v", op, op.IsBranch())
+		}
+		isControl := isBranch || op == JMP || op == JAL || op == JR
+		if op.IsControl() != isControl {
+			t.Errorf("%v.IsControl() = %v", op, op.IsControl())
+		}
+		isMem := op == LD || op == ST
+		if op.IsMem() != isMem {
+			t.Errorf("%v.IsMem() = %v", op, op.IsMem())
+		}
+	}
+}
+
+func TestWritesDst(t *testing.T) {
+	writes := map[Opcode]bool{
+		ADD: true, ADDI: true, MUL: true, FDIV: true, LD: true, JAL: true, LUI: true,
+		ST: false, BEQ: false, JMP: false, JR: false, NOP: false, HALT: false,
+	}
+	for op, want := range writes {
+		if got := op.WritesDst(); got != want {
+			t.Errorf("%v.WritesDst() = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestReadsSrc(t *testing.T) {
+	// ST reads both its address base (Src1) and its value (Src2).
+	if !ST.ReadsSrc1() || !ST.ReadsSrc2() {
+		t.Error("ST must read Src1 and Src2")
+	}
+	// JAL and JMP read nothing.
+	if JAL.ReadsSrc1() || JAL.ReadsSrc2() || JMP.ReadsSrc1() {
+		t.Error("JAL/JMP must not read registers")
+	}
+	// JR reads Src1 only.
+	if !JR.ReadsSrc1() || JR.ReadsSrc2() {
+		t.Error("JR must read only Src1")
+	}
+	// LUI reads nothing (immediate only).
+	if LUI.ReadsSrc1() {
+		t.Error("LUI must not read Src1")
+	}
+}
+
+func TestRegString(t *testing.T) {
+	if Zero.String() != "r0" || Reg(17).String() != "r17" {
+		t.Errorf("register naming broken: %v %v", Zero, Reg(17))
+	}
+	if !Reg(31).Valid() || Reg(32).Valid() {
+		t.Error("register validity boundary wrong")
+	}
+}
+
+func TestInstValidate(t *testing.T) {
+	good := Inst{Op: ADD, Dst: 1, Src1: 2, Src2: 3}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid inst rejected: %v", err)
+	}
+	bad := []Inst{
+		{Op: Opcode(99)},
+		{Op: ADD, Dst: 40},
+		{Op: JMP, Imm: -1},
+		{Op: BEQ, Imm: -5},
+	}
+	for _, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("invalid inst accepted: %+v", in)
+		}
+	}
+	// JR with a register target has no immediate to validate.
+	if err := (Inst{Op: JR, Src1: 1}).Validate(); err != nil {
+		t.Errorf("JR rejected: %v", err)
+	}
+}
+
+func TestInstStringCoversForms(t *testing.T) {
+	forms := []Inst{
+		{Op: NOP}, {Op: HALT},
+		{Op: JMP, Imm: 7}, {Op: JAL, Dst: RA, Imm: 7}, {Op: JR, Src1: RA},
+		{Op: BEQ, Src1: 1, Src2: 2, Imm: 9},
+		{Op: LD, Dst: 3, Src1: GP, Imm: 16},
+		{Op: ST, Src2: 3, Src1: GP, Imm: 16},
+		{Op: LUI, Dst: 4, Imm: 100},
+		{Op: ADD, Dst: 1, Src1: 2, Src2: 3},
+		{Op: ADDI, Dst: 1, Src1: 2, Imm: 5},
+	}
+	for _, in := range forms {
+		if in.String() == "" {
+			t.Errorf("empty string form for %+v", in)
+		}
+	}
+}
+
+func TestClassStringTotal(t *testing.T) {
+	// Property: every opcode's class renders with a real name.
+	f := func(raw uint8) bool {
+		op := Opcode(raw)
+		c := op.Class()
+		s := c.String()
+		return s != "" && (int(c) < len(classNames))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,307 @@
+// Package profile records and replays interval profiles of detailed
+// simulation runs.
+//
+// A Profile is produced by one full detailed pass over a benchmark and
+// holds, at fine granularity, the cycle cost of every interval and, at a
+// coarser granularity, the raw basic-block vector of every interval. All
+// sampled-simulation techniques in this repository can then be *replayed*
+// against the profile: a replayed detailed sample reads the recorded cycles
+// of its window, which is equivalent to simulating the sample from a
+// perfectly warmed checkpoint (the live-points of TurboSMARTS). The paper
+// itself evaluates SimPoint "by performing an off-line clustering of the
+// reduced BBV data from PGSS simulation" — the same mechanism.
+package profile
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"pgss/internal/bbv"
+	"pgss/internal/cpu"
+)
+
+// Config fixes the recording granularities.
+type Config struct {
+	// FineOps is the cycle-recording interval in ops (sample IPCs are read
+	// at this resolution). Must divide BBVOps.
+	FineOps uint64
+	// BBVOps is the BBV-recording interval in ops.
+	BBVOps uint64
+	// MaxOps optionally truncates recording (0 = run to completion).
+	MaxOps uint64
+}
+
+// DefaultConfig matches the scaled evaluation setup: 1k-op cycle
+// resolution (the SMARTS sample unit) and 10k-op BBV resolution (the
+// finest PGSS fast-forward period).
+func DefaultConfig() Config { return Config{FineOps: 1000, BBVOps: 10000} }
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.FineOps == 0 || c.BBVOps == 0 {
+		return fmt.Errorf("profile: zero granularity %+v", c)
+	}
+	if c.BBVOps%c.FineOps != 0 {
+		return fmt.Errorf("profile: BBVOps %d not a multiple of FineOps %d", c.BBVOps, c.FineOps)
+	}
+	return nil
+}
+
+// Profile is a recorded run. Fields are exported for gob serialisation;
+// treat loaded profiles as immutable.
+type Profile struct {
+	Benchmark string
+	HashBits  int
+	FineOps   uint64
+	BBVOps    uint64
+
+	TotalOps    uint64
+	TotalCycles uint64
+
+	// Cycles[i] is the cycle count of fine interval i. The last interval
+	// may cover fewer than FineOps ops (TailOps).
+	Cycles  []uint32
+	TailOps uint64
+
+	// RawBBVs[j] is the unnormalised BBV of BBV interval j.
+	RawBBVs []bbv.Vector
+
+	// prefix[i] = sum of Cycles[0:i]; built lazily.
+	prefix []uint64
+}
+
+// Record runs core in detailed mode to completion (or cfg.MaxOps) and
+// returns the profile. The BBV hash must be the one all consumers use.
+func Record(core *cpu.Core, hash *bbv.Hash, cfg Config) (*Profile, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Profile{
+		Benchmark: core.M.Program().Name,
+		HashBits:  hash.Width(),
+		FineOps:   cfg.FineOps,
+		BBVOps:    cfg.BBVOps,
+	}
+	tracker := bbv.NewTracker(hash)
+	var r cpu.Retired
+	var ops uint64
+	lastCycles := core.T.Cycle()
+	for core.StepDetailed(&r) {
+		ops++
+		tracker.RetireOps(1)
+		if r.Taken {
+			tracker.TakenBranch(r.Addr)
+		}
+		if ops%cfg.FineOps == 0 {
+			now := core.T.Cycle()
+			p.Cycles = append(p.Cycles, uint32(now-lastCycles))
+			lastCycles = now
+		}
+		if ops%cfg.BBVOps == 0 {
+			p.RawBBVs = append(p.RawBBVs, tracker.TakeRaw())
+		}
+		if cfg.MaxOps > 0 && ops >= cfg.MaxOps {
+			break
+		}
+	}
+	if err := core.M.Err(); err != nil {
+		return nil, fmt.Errorf("profile: %s halted abnormally after %d ops: %w", p.Benchmark, ops, err)
+	}
+	// Tail intervals.
+	if tail := ops % cfg.FineOps; tail != 0 {
+		now := core.T.Cycle()
+		p.Cycles = append(p.Cycles, uint32(now-lastCycles))
+		p.TailOps = tail
+	}
+	if ops%cfg.BBVOps != 0 {
+		p.RawBBVs = append(p.RawBBVs, tracker.TakeRaw())
+	}
+	p.TotalOps = ops
+	p.TotalCycles = core.T.Cycle()
+	return p, nil
+}
+
+// TrueIPC returns the whole-program IPC: the quantity every technique
+// estimates.
+func (p *Profile) TrueIPC() float64 {
+	if p.TotalCycles == 0 {
+		return 0
+	}
+	return float64(p.TotalOps) / float64(p.TotalCycles)
+}
+
+// NumFine returns the number of fine intervals.
+func (p *Profile) NumFine() int { return len(p.Cycles) }
+
+// fineOpsAt returns the op count of fine interval i.
+func (p *Profile) fineOpsAt(i int) uint64 {
+	if i == len(p.Cycles)-1 && p.TailOps != 0 {
+		return p.TailOps
+	}
+	return p.FineOps
+}
+
+func (p *Profile) buildPrefix() {
+	if p.prefix != nil {
+		return
+	}
+	p.prefix = make([]uint64, len(p.Cycles)+1)
+	for i, c := range p.Cycles {
+		p.prefix[i+1] = p.prefix[i] + uint64(c)
+	}
+}
+
+// CyclesWindow returns the cycle cost and op count of the window starting
+// at op position start (a multiple of FineOps) spanning ops (a multiple of
+// FineOps), clipped to the end of the program.
+func (p *Profile) CyclesWindow(start, ops uint64) (cycles, actualOps uint64) {
+	if start%p.FineOps != 0 || ops%p.FineOps != 0 {
+		panic(fmt.Sprintf("profile: unaligned window start=%d ops=%d fine=%d", start, ops, p.FineOps))
+	}
+	p.buildPrefix()
+	i0 := int(start / p.FineOps)
+	n := int(ops / p.FineOps)
+	if i0 >= len(p.Cycles) {
+		return 0, 0
+	}
+	i1 := i0 + n
+	if i1 > len(p.Cycles) {
+		i1 = len(p.Cycles)
+	}
+	cycles = p.prefix[i1] - p.prefix[i0]
+	for i := i0; i < i1; i++ {
+		actualOps += p.fineOpsAt(i)
+	}
+	return cycles, actualOps
+}
+
+// IPCWindow returns the IPC of the given window (see CyclesWindow).
+func (p *Profile) IPCWindow(start, ops uint64) float64 {
+	cycles, actual := p.CyclesWindow(start, ops)
+	if cycles == 0 {
+		return 0
+	}
+	return float64(actual) / float64(cycles)
+}
+
+// IPCSeries returns the IPC of consecutive windows of the given op
+// granularity (a multiple of FineOps) across the whole run. The final
+// partial window is included when it covers at least one fine interval.
+func (p *Profile) IPCSeries(gran uint64) []float64 {
+	if gran%p.FineOps != 0 || gran == 0 {
+		panic(fmt.Sprintf("profile: granularity %d not a multiple of FineOps %d", gran, p.FineOps))
+	}
+	var out []float64
+	for start := uint64(0); start < p.TotalOps; start += gran {
+		out = append(out, p.IPCWindow(start, gran))
+	}
+	return out
+}
+
+// BBVWindow returns the raw (unnormalised) BBV of the window starting at op
+// position start (a multiple of BBVOps) spanning ops (a multiple of
+// BBVOps), clipped at the end of the program.
+func (p *Profile) BBVWindow(start, ops uint64) bbv.Vector {
+	if start%p.BBVOps != 0 || ops%p.BBVOps != 0 {
+		panic(fmt.Sprintf("profile: unaligned BBV window start=%d ops=%d bbv=%d", start, ops, p.BBVOps))
+	}
+	j0 := int(start / p.BBVOps)
+	n := int(ops / p.BBVOps)
+	if j0 >= len(p.RawBBVs) {
+		return nil
+	}
+	j1 := j0 + n
+	if j1 > len(p.RawBBVs) {
+		j1 = len(p.RawBBVs)
+	}
+	v := p.RawBBVs[j0].Clone()
+	for j := j0 + 1; j < j1; j++ {
+		v.Add(p.RawBBVs[j])
+	}
+	return v
+}
+
+// BBVSeries returns normalised BBVs of consecutive windows at the given op
+// granularity (a multiple of BBVOps).
+func (p *Profile) BBVSeries(gran uint64) []bbv.Vector {
+	if gran%p.BBVOps != 0 || gran == 0 {
+		panic(fmt.Sprintf("profile: granularity %d not a multiple of BBVOps %d", gran, p.BBVOps))
+	}
+	var out []bbv.Vector
+	for start := uint64(0); start < p.TotalOps; start += gran {
+		v := p.BBVWindow(start, gran)
+		if v == nil {
+			break
+		}
+		out = append(out, v.Normalize())
+	}
+	return out
+}
+
+// NumFullWindows returns how many complete windows of the given
+// granularity the run contains; the trailing partial window (if any) is
+// excluded. Statistical analyses over equal-size intervals use this to
+// avoid a tiny tail window skewing their moments.
+func (p *Profile) NumFullWindows(gran uint64) int {
+	return int(p.TotalOps / gran)
+}
+
+// IntervalStdDev returns the standard deviation of interval IPCs at the
+// given granularity — the σ that the paper's threshold analysis (Figs 7–10)
+// normalises IPC changes by. The trailing partial interval is excluded.
+func (p *Profile) IntervalStdDev(gran uint64) float64 {
+	series := p.IPCSeries(gran)
+	if full := p.NumFullWindows(gran); full < len(series) {
+		series = series[:full]
+	}
+	var mean, m2 float64
+	for i, x := range series {
+		d := x - mean
+		mean += d / float64(i+1)
+		m2 += d * (x - mean)
+	}
+	if len(series) < 2 {
+		return 0
+	}
+	return math.Sqrt(m2 / float64(len(series)-1))
+}
+
+// Save writes the profile to path with gob encoding, creating parent
+// directories as needed.
+func (p *Profile) Save(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("profile: save %s: %w", path, err)
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("profile: save %s: %w", path, err)
+	}
+	if err := gob.NewEncoder(f).Encode(p); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("profile: encode %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("profile: close %s: %w", path, err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads a profile written by Save.
+func Load(path string) (*Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var p Profile
+	if err := gob.NewDecoder(f).Decode(&p); err != nil {
+		return nil, fmt.Errorf("profile: decode %s: %w", path, err)
+	}
+	return &p, nil
+}

@@ -1,0 +1,222 @@
+package profile
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"pgss/internal/bbv"
+	"pgss/internal/cpu"
+	"pgss/internal/isa"
+	"pgss/internal/program"
+)
+
+// computeProgram builds a deterministic compute loop of ~12·iters ops.
+func computeProgram(t *testing.T, iters int64) *program.Program {
+	t.Helper()
+	b := program.NewBuilder("prof_test")
+	b.LoadImm(isa.S0, iters)
+	b.Label("loop")
+	for i := 0; i < 10; i++ {
+		b.OpI(isa.ADDI, isa.Reg(8+i%4), isa.Zero, int64(i))
+	}
+	b.OpI(isa.ADDI, isa.S0, isa.S0, -1)
+	b.Branch(isa.BNE, isa.S0, isa.Zero, "loop")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func record(t *testing.T, prog *program.Program, cfg Config) *Profile {
+	t.Helper()
+	core, err := cpu.NewCore(cpu.MustNewMachine(prog), cpu.DefaultCoreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Record(core, bbv.MustNewHash(5, 42), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{FineOps: 0, BBVOps: 10},
+		{FineOps: 10, BBVOps: 0},
+		{FineOps: 300, BBVOps: 1000}, // not a multiple
+	}
+	for _, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("accepted bad config %+v", cfg)
+		}
+	}
+	if DefaultConfig().Validate() != nil {
+		t.Error("default config invalid")
+	}
+}
+
+func TestRecordConservation(t *testing.T) {
+	prog := computeProgram(t, 5000) // 12 ops/iter ≈ 60k ops
+	p := record(t, prog, Config{FineOps: 1000, BBVOps: 5000})
+
+	// Sum of fine-interval cycles equals total cycles.
+	var cycles uint64
+	for _, c := range p.Cycles {
+		cycles += uint64(c)
+	}
+	if cycles != p.TotalCycles {
+		t.Errorf("cycle conservation: %d vs %d", cycles, p.TotalCycles)
+	}
+	// Fine interval count covers all ops.
+	wantIntervals := (p.TotalOps + 999) / 1000
+	if uint64(len(p.Cycles)) != wantIntervals {
+		t.Errorf("fine intervals: %d, want %d", len(p.Cycles), wantIntervals)
+	}
+	// Tail size consistent.
+	if tail := p.TotalOps % 1000; tail != p.TailOps {
+		t.Errorf("tail = %d, want %d", p.TailOps, tail)
+	}
+	// Raw BBV total weight is close to total ops (pending ops at the end
+	// are the only loss).
+	var weight float64
+	for _, v := range p.RawBBVs {
+		for _, x := range v {
+			weight += x
+		}
+	}
+	if weight < float64(p.TotalOps)*0.99 || weight > float64(p.TotalOps)+1 {
+		t.Errorf("BBV weight = %g of %d ops", weight, p.TotalOps)
+	}
+}
+
+func TestRecordMaxOps(t *testing.T) {
+	prog := computeProgram(t, 1_000_000)
+	p := record(t, prog, Config{FineOps: 1000, BBVOps: 5000, MaxOps: 20_000})
+	if p.TotalOps != 20_000 {
+		t.Errorf("MaxOps not honoured: %d", p.TotalOps)
+	}
+}
+
+func TestIPCWindowMatchesTrueIPC(t *testing.T) {
+	prog := computeProgram(t, 5000)
+	p := record(t, prog, Config{FineOps: 1000, BBVOps: 5000})
+	whole := p.IPCWindow(0, (p.TotalOps/1000+1)*1000)
+	if math.Abs(whole-p.TrueIPC()) > 1e-9 {
+		t.Errorf("whole-window IPC %g vs true %g", whole, p.TrueIPC())
+	}
+}
+
+func TestWindowsPartitionCycles(t *testing.T) {
+	prog := computeProgram(t, 8000)
+	p := record(t, prog, Config{FineOps: 1000, BBVOps: 4000})
+	var cycles, ops uint64
+	for start := uint64(0); start < p.TotalOps; start += 7000 {
+		c, o := p.CyclesWindow(start, 7000)
+		cycles += c
+		ops += o
+	}
+	if cycles != p.TotalCycles || ops != p.TotalOps {
+		t.Errorf("partition: %d/%d cycles, %d/%d ops", cycles, p.TotalCycles, ops, p.TotalOps)
+	}
+}
+
+func TestUnalignedWindowPanics(t *testing.T) {
+	prog := computeProgram(t, 2000)
+	p := record(t, prog, Config{FineOps: 1000, BBVOps: 2000})
+	defer func() {
+		if recover() == nil {
+			t.Error("unaligned window did not panic")
+		}
+	}()
+	p.IPCWindow(500, 1000)
+}
+
+func TestBBVSeriesNormalized(t *testing.T) {
+	prog := computeProgram(t, 20000)
+	p := record(t, prog, Config{FineOps: 1000, BBVOps: 2000})
+	series := p.BBVSeries(4000)
+	if len(series) == 0 {
+		t.Fatal("empty series")
+	}
+	// All full windows are unit vectors; the trailing partial window may
+	// be zero if no taken branch retired in it.
+	for i := 0; i < p.NumFullWindows(4000) && i < len(series); i++ {
+		if math.Abs(series[i].Norm()-1) > 1e-9 {
+			t.Errorf("series[%d] norm = %g", i, series[i].Norm())
+		}
+	}
+	// A homogeneous loop: consecutive BBVs nearly identical.
+	if ang := series[0].Angle(series[1]); ang > 0.01 {
+		t.Errorf("homogeneous loop BBV angle = %g", ang)
+	}
+}
+
+func TestBBVWindowAggregation(t *testing.T) {
+	prog := computeProgram(t, 20000)
+	p := record(t, prog, Config{FineOps: 1000, BBVOps: 2000})
+	// Aggregating two windows equals the sum of raws.
+	w := p.BBVWindow(0, 4000)
+	manual := p.RawBBVs[0].Clone()
+	manual.Add(p.RawBBVs[1])
+	for i := range w {
+		if math.Abs(w[i]-manual[i]) > 1e-9 {
+			t.Fatalf("aggregation mismatch at %d", i)
+		}
+	}
+}
+
+func TestIPCSeriesLengths(t *testing.T) {
+	prog := computeProgram(t, 20000)
+	p := record(t, prog, Config{FineOps: 1000, BBVOps: 2000})
+	f := func(mult uint8) bool {
+		g := (uint64(mult%10) + 1) * 1000
+		series := p.IPCSeries(g)
+		want := (p.TotalOps + g - 1) / g
+		return uint64(len(series)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntervalStdDevFlatLoop(t *testing.T) {
+	prog := computeProgram(t, 50000)
+	p := record(t, prog, Config{FineOps: 1000, BBVOps: 2000})
+	// A single homogeneous loop: tiny interval σ (warmup aside).
+	sigma := p.IntervalStdDev(10_000)
+	if sigma > 0.2 {
+		t.Errorf("flat loop σ = %g", sigma)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	prog := computeProgram(t, 5000)
+	p := record(t, prog, Config{FineOps: 1000, BBVOps: 5000})
+	path := filepath.Join(t.TempDir(), "sub", "p.profile")
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.TotalOps != p.TotalOps || q.TotalCycles != p.TotalCycles ||
+		len(q.Cycles) != len(p.Cycles) || len(q.RawBBVs) != len(p.RawBBVs) ||
+		q.Benchmark != p.Benchmark || q.TailOps != p.TailOps {
+		t.Error("round trip lost data")
+	}
+	if q.TrueIPC() != p.TrueIPC() {
+		t.Error("round trip changed IPC")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Error("loading a missing file succeeded")
+	}
+}

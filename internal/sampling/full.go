@@ -1,0 +1,38 @@
+package sampling
+
+import "fmt"
+
+// Full runs the benchmark entirely in detailed mode through the Target
+// window interface — the ground-truth technique every sampled technique is
+// measured against. windowOps sets the bookkeeping window (any multiple of
+// the target's BBV granularity).
+func Full(t Target, windowOps uint64) (Result, error) {
+	if windowOps == 0 {
+		return Result{}, fmt.Errorf("sampling: full: zero window")
+	}
+	res := Result{
+		Technique: "Full",
+		Config:    "detailed",
+		Benchmark: t.Benchmark(),
+		TrueIPC:   t.TrueIPC(),
+	}
+	var ops, cycleEquiv float64
+	for {
+		w, ok := t.NextWindow(windowOps, 0, windowOps)
+		if !ok {
+			break
+		}
+		res.Costs.Detailed += w.Ops
+		if w.SampleOps > 0 && w.SampleIPC > 0 {
+			// Reconstruct cycles from the measured ratio so the combined
+			// estimate is the true ops/cycles quotient.
+			ops += float64(w.SampleOps)
+			cycleEquiv += float64(w.SampleOps) / w.SampleIPC
+			res.Samples++
+		}
+	}
+	if cycleEquiv > 0 {
+		res.EstimatedIPC = ops / cycleEquiv
+	}
+	return res, nil
+}

@@ -1,0 +1,127 @@
+package sampling
+
+import (
+	"fmt"
+
+	"pgss/internal/phase"
+	"pgss/internal/profile"
+)
+
+// OnlineSimPointConfig parameterises the online SimPoint variant of
+// Pereira et al. (CODES+ISSS 2005) as evaluated in the paper: BBVs are
+// classified online into phases with an angle threshold, and the *first
+// occurrence* of each phase is simulated in detail for one full interval;
+// a perfect phase predictor is assumed (§5), so the first occurrence is
+// detailed from its beginning.
+type OnlineSimPointConfig struct {
+	IntervalOps uint64
+	ThresholdPi float64 // threshold as a fraction of π
+}
+
+func (c OnlineSimPointConfig) String() string {
+	return fmt.Sprintf("%s/.%02dπ", opsLabel(c.IntervalOps), int(c.ThresholdPi*100+0.5))
+}
+
+// OnlineSimPointSweep returns the configurations tested for the baseline:
+// interval sizes {10M,100M}/scale × thresholds {.05,.1,.15,.2}π.
+func OnlineSimPointSweep(scale uint64) []OnlineSimPointConfig {
+	if scale == 0 {
+		scale = 1
+	}
+	var out []OnlineSimPointConfig
+	for _, sz := range []uint64{10_000_000 / scale, 100_000_000 / scale} {
+		for _, th := range []float64{0.05, 0.10, 0.15, 0.20} {
+			out = append(out, OnlineSimPointConfig{IntervalOps: sz, ThresholdPi: th})
+		}
+	}
+	return out
+}
+
+// OnlineSimPointOverall is the best overall configuration reported by the
+// paper: 100M-op samples with a .1π threshold.
+func OnlineSimPointOverall(scale uint64) OnlineSimPointConfig {
+	if scale == 0 {
+		scale = 1
+	}
+	return OnlineSimPointConfig{IntervalOps: 100_000_000 / scale, ThresholdPi: 0.10}
+}
+
+// OnlineSimPoint runs the baseline against a recorded profile.
+func OnlineSimPoint(p *profile.Profile, cfg OnlineSimPointConfig) (Result, error) {
+	if cfg.IntervalOps == 0 || cfg.IntervalOps%p.BBVOps != 0 {
+		return Result{}, fmt.Errorf("sampling: online simpoint: interval %d not a multiple of BBV granularity %d",
+			cfg.IntervalOps, p.BBVOps)
+	}
+	res := Result{
+		Technique: "OnlineSimPoint",
+		Config:    cfg.String(),
+		Benchmark: p.Benchmark,
+		TrueIPC:   p.TrueIPC(),
+	}
+	vectors := p.BBVSeries(cfg.IntervalOps)
+	if len(vectors) == 0 {
+		return res, fmt.Errorf("sampling: online simpoint: no intervals")
+	}
+	table := phase.MustNewTable(cfg.ThresholdPi * 3.141592653589793)
+	ids := table.ClassifySeries(vectors, cfg.IntervalOps)
+
+	intervalOps := func(i int) uint64 {
+		start := uint64(i) * cfg.IntervalOps
+		end := start + cfg.IntervalOps
+		if end > p.TotalOps {
+			end = p.TotalOps
+		}
+		return end - start
+	}
+	phases := table.Phases()
+	phaseOps := make([]uint64, len(phases))
+	for i := range vectors {
+		phaseOps[ids[i]] += intervalOps(i)
+	}
+
+	// CPI-space estimate, weighted by each phase's op count (see SimPoint).
+	var weightedCPI, totalW float64
+	for _, ph := range phases {
+		first := ph.FirstIntervalIndex
+		ops := intervalOps(first)
+		if ops == 0 || phaseOps[ph.ID] == 0 {
+			continue
+		}
+		ipc := p.IPCWindow(uint64(first)*cfg.IntervalOps, cfg.IntervalOps)
+		if ipc <= 0 {
+			continue
+		}
+		w := float64(phaseOps[ph.ID])
+		weightedCPI += w / ipc
+		totalW += w
+		res.Costs.Detailed += ops
+		res.Samples++
+	}
+	if totalW > 0 && weightedCPI > 0 {
+		res.EstimatedIPC = totalW / weightedCPI
+	}
+	res.Phases = len(phases)
+	// The non-detailed remainder runs in functional-warming fast-forward
+	// (the phase tracker needs the BBV stream).
+	res.Costs.FunctionalWarm = p.TotalOps - res.Costs.Detailed
+	return res, nil
+}
+
+// OnlineSimPointBest sweeps the configurations and returns the
+// lowest-error result plus all results.
+func OnlineSimPointBest(p *profile.Profile, sweep []OnlineSimPointConfig) (best Result, all []Result, err error) {
+	for _, cfg := range sweep {
+		r, e := OnlineSimPoint(p, cfg)
+		if e != nil {
+			continue
+		}
+		all = append(all, r)
+		if best.Technique == "" || r.ErrorPct() < best.ErrorPct() {
+			best = r
+		}
+	}
+	if best.Technique == "" {
+		return best, all, fmt.Errorf("sampling: online simpoint: no feasible configuration")
+	}
+	return best, all, nil
+}

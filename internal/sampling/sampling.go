@@ -1,0 +1,273 @@
+// Package sampling contains the sampled-simulation machinery shared by all
+// techniques — execution-mode cost accounting, result types, and the
+// Target abstraction a sequential controller drives — plus the four
+// baseline techniques the paper compares PGSS-Sim against: full detailed
+// simulation, SMARTS, TurboSMARTS, offline SimPoint and online SimPoint.
+//
+// A sequential controller (SMARTS, PGSS) sees execution as a series of
+// windows: each window optionally starts with a detailed warm-up and a
+// detailed measured sample (the SMARTS 3k+1k structure), and the remainder
+// runs in functional-warming fast-forward while the BBV tracker
+// accumulates. Targets provide windows either live (driving the cycle-level
+// simulator) or by replaying a recorded profile; both yield the same BBVs,
+// and replayed sample IPCs correspond to perfectly warmed samples.
+package sampling
+
+import (
+	"fmt"
+	"math"
+
+	"pgss/internal/bbv"
+	"pgss/internal/cpu"
+	"pgss/internal/profile"
+)
+
+// Costs tallies operations by execution mode. The paper's accounting (§5)
+// counts detailed warming plus detailed simulation as "detailed"; Fig 13's
+// time model prices each mode separately.
+type Costs struct {
+	Detailed       uint64 // measured detailed simulation
+	DetailedWarm   uint64 // detailed warm-up before each sample
+	FunctionalWarm uint64 // functional fast-forward with cache/predictor warming
+	PlainFF        uint64 // plain (SimPoint-style) fast-forward
+}
+
+// DetailedTotal returns detailed simulation + detailed warming, the
+// quantity plotted in Fig 12's lower panel.
+func (c Costs) DetailedTotal() uint64 { return c.Detailed + c.DetailedWarm }
+
+// Total returns all simulated ops across modes.
+func (c Costs) Total() uint64 {
+	return c.Detailed + c.DetailedWarm + c.FunctionalWarm + c.PlainFF
+}
+
+// Add accumulates o into c.
+func (c *Costs) Add(o Costs) {
+	c.Detailed += o.Detailed
+	c.DetailedWarm += o.DetailedWarm
+	c.FunctionalWarm += o.FunctionalWarm
+	c.PlainFF += o.PlainFF
+}
+
+// Result is the outcome of one estimation run.
+type Result struct {
+	Technique string
+	Config    string
+	Benchmark string
+
+	EstimatedIPC float64
+	TrueIPC      float64
+
+	Costs   Costs
+	Samples uint64 // detailed samples (or detailed intervals) taken
+	Phases  int    // phases/clusters used, when applicable
+}
+
+// ErrorPct returns |est−true|/true in percent.
+func (r Result) ErrorPct() float64 {
+	if r.TrueIPC == 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(r.EstimatedIPC-r.TrueIPC) / r.TrueIPC * 100
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s[%s] %s: est=%.4f true=%.4f err=%.3f%% detailed=%d samples=%d",
+		r.Technique, r.Config, r.Benchmark, r.EstimatedIPC, r.TrueIPC,
+		r.ErrorPct(), r.Costs.DetailedTotal(), r.Samples)
+}
+
+// Window is what a sequential controller receives for each stretch of
+// execution it requested.
+type Window struct {
+	// Ops actually covered (the final window may be short).
+	Ops uint64
+	// BBV is the normalised basic-block vector over the whole window.
+	BBV bbv.Vector
+	// SampleIPC is the IPC measured over the detailed sample at the start
+	// of the window; NaN when no sample was requested or it did not fit.
+	SampleIPC float64
+	// SampleOps/WarmOps are the detailed ops actually spent.
+	SampleOps uint64
+	WarmOps   uint64
+}
+
+// Target is a benchmark execution a sequential controller can drive.
+type Target interface {
+	// Benchmark returns the workload name.
+	Benchmark() string
+	// TotalOps returns the full run length (known for profiles; live
+	// targets report the recorded/declared length).
+	TotalOps() uint64
+	// TrueIPC returns the whole-program IPC for error reporting.
+	TrueIPC() float64
+	// Pos returns ops completed so far.
+	Pos() uint64
+	// Done reports whether the program is exhausted.
+	Done() bool
+	// NextWindow advances by up to `ops` operations. If warm+sample > 0,
+	// the window begins with `warm` detailed warm-up ops followed by
+	// `sample` measured detailed ops; the remainder runs in
+	// functional-warming mode. It returns false at end of program.
+	NextWindow(ops, warm, sample uint64) (Window, bool)
+}
+
+// ProfileTarget replays a recorded profile as a Target. Window sizes must
+// be multiples of the profile's BBV granularity, and warm-up/sample sizes
+// multiples of its fine granularity.
+type ProfileTarget struct {
+	p   *profile.Profile
+	pos uint64
+}
+
+// NewProfileTarget wraps p.
+func NewProfileTarget(p *profile.Profile) *ProfileTarget {
+	return &ProfileTarget{p: p}
+}
+
+// Profile returns the underlying profile.
+func (t *ProfileTarget) Profile() *profile.Profile { return t.p }
+
+// Benchmark implements Target.
+func (t *ProfileTarget) Benchmark() string { return t.p.Benchmark }
+
+// TotalOps implements Target.
+func (t *ProfileTarget) TotalOps() uint64 { return t.p.TotalOps }
+
+// TrueIPC implements Target.
+func (t *ProfileTarget) TrueIPC() float64 { return t.p.TrueIPC() }
+
+// Pos implements Target.
+func (t *ProfileTarget) Pos() uint64 { return t.pos }
+
+// Done implements Target.
+func (t *ProfileTarget) Done() bool { return t.pos >= t.p.TotalOps }
+
+// Reset rewinds to the start of the program.
+func (t *ProfileTarget) Reset() { t.pos = 0 }
+
+// NextWindow implements Target.
+func (t *ProfileTarget) NextWindow(ops, warm, sample uint64) (Window, bool) {
+	if t.Done() {
+		return Window{}, false
+	}
+	if ops == 0 || ops%t.p.BBVOps != 0 {
+		panic(fmt.Sprintf("sampling: window %d not a multiple of BBV granularity %d", ops, t.p.BBVOps))
+	}
+	if warm%t.p.FineOps != 0 || sample%t.p.FineOps != 0 {
+		panic(fmt.Sprintf("sampling: warm %d / sample %d not multiples of fine granularity %d",
+			warm, sample, t.p.FineOps))
+	}
+	w := Window{SampleIPC: math.NaN()}
+	raw := t.p.BBVWindow(t.pos, ops)
+	if raw == nil {
+		t.pos = t.p.TotalOps
+		return Window{}, false
+	}
+	w.BBV = raw.Normalize()
+	remaining := t.p.TotalOps - t.pos
+	w.Ops = ops
+	if remaining < ops {
+		w.Ops = remaining
+	}
+	if sample > 0 && warm+sample <= w.Ops {
+		ipc := t.p.IPCWindow(t.pos+warm, sample)
+		if ipc > 0 {
+			w.SampleIPC = ipc
+			w.SampleOps = sample
+			w.WarmOps = warm
+		}
+	}
+	t.pos += w.Ops
+	return w, true
+}
+
+// LiveTarget drives the cycle-level simulator directly; it exists to
+// demonstrate (and test) that the controllers are independent of the
+// replay mechanism.
+type LiveTarget struct {
+	core    *cpu.Core
+	tracker *bbv.Tracker
+	total   uint64 // declared length; 0 = run to halt (TotalOps unknown)
+	trueIPC float64
+	pos     uint64
+	ret     cpu.Retired
+}
+
+// NewLiveTarget wraps a core. totalOps may be 0 when unknown; trueIPC may
+// be 0 when unknown (error reporting then needs an external truth).
+func NewLiveTarget(core *cpu.Core, hash *bbv.Hash, totalOps uint64, trueIPC float64) *LiveTarget {
+	return &LiveTarget{
+		core:    core,
+		tracker: bbv.NewTracker(hash),
+		total:   totalOps,
+		trueIPC: trueIPC,
+	}
+}
+
+// Benchmark implements Target.
+func (t *LiveTarget) Benchmark() string { return t.core.M.Program().Name }
+
+// TotalOps implements Target.
+func (t *LiveTarget) TotalOps() uint64 { return t.total }
+
+// TrueIPC implements Target.
+func (t *LiveTarget) TrueIPC() float64 { return t.trueIPC }
+
+// Pos implements Target.
+func (t *LiveTarget) Pos() uint64 { return t.pos }
+
+// Done implements Target.
+func (t *LiveTarget) Done() bool { return t.core.M.Halted() }
+
+// NextWindow implements Target.
+func (t *LiveTarget) NextWindow(ops, warm, sample uint64) (Window, bool) {
+	if t.Done() {
+		return Window{}, false
+	}
+	w := Window{SampleIPC: math.NaN()}
+	var done uint64
+
+	step := func(mode int) bool {
+		var ok bool
+		switch mode {
+		case 0:
+			ok = t.core.StepDetailed(&t.ret)
+		default:
+			ok = t.core.StepWarm(&t.ret)
+		}
+		if !ok {
+			return false
+		}
+		t.tracker.RetireOps(1)
+		if t.ret.Taken {
+			t.tracker.TakenBranch(t.ret.Addr)
+		}
+		done++
+		t.pos++
+		return true
+	}
+
+	if sample > 0 && warm+sample <= ops {
+		for i := uint64(0); i < warm && step(0); i++ {
+		}
+		w.WarmOps = done
+		start := t.core.T.Cycle()
+		before := done
+		for i := uint64(0); i < sample && step(0); i++ {
+		}
+		w.SampleOps = done - before
+		cycles := t.core.T.Cycle() - start
+		if cycles > 0 && w.SampleOps > 0 {
+			w.SampleIPC = float64(w.SampleOps) / float64(cycles)
+		}
+	}
+	for done < ops && step(1) {
+	}
+	w.Ops = done
+	w.BBV = t.tracker.TakeVector()
+	if done == 0 {
+		return Window{}, false
+	}
+	return w, true
+}

@@ -1,0 +1,71 @@
+package timemodel
+
+import (
+	"math"
+	"testing"
+
+	"pgss/internal/sampling"
+)
+
+func TestPaperRates(t *testing.T) {
+	r := PaperRates()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's ordering: plain FF fastest, detailed slowest.
+	if !(r.PlainFFBBV > r.FunctionalWarm && r.FunctionalWarm > r.DetailedWarm &&
+		r.DetailedWarm >= r.Detailed) {
+		t.Errorf("rate ordering violated: %+v", r)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := Rates{PlainFFBBV: 0, FunctionalWarm: 1, DetailedWarm: 1, Detailed: 1}
+	if bad.Validate() == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+func TestApply(t *testing.T) {
+	r := Rates{PlainFFBBV: 100, FunctionalWarm: 50, DetailedWarm: 10, Detailed: 5}
+	b := r.Apply(sampling.Costs{PlainFF: 1000, FunctionalWarm: 500, DetailedWarm: 100, Detailed: 50})
+	if b.PlainFFSec != 10 || b.FunctionalSec != 10 || b.DetailedWarmSec != 10 || b.DetailedSec != 10 {
+		t.Errorf("breakdown: %+v", b)
+	}
+	if b.Total() != 40 || b.DetailedTotal() != 20 {
+		t.Errorf("totals: %g %g", b.Total(), b.DetailedTotal())
+	}
+}
+
+func TestApplyAll(t *testing.T) {
+	r := PaperRates()
+	costs := []sampling.Costs{
+		{Detailed: 1000, DetailedWarm: 3000},
+		{Detailed: 2000, FunctionalWarm: 1_000_000},
+	}
+	b := r.ApplyAll(costs)
+	wantDetailed := 3000.0 / r.Detailed
+	if math.Abs(b.DetailedSec-wantDetailed) > 1e-12 {
+		t.Errorf("detailed sec = %g, want %g", b.DetailedSec, wantDetailed)
+	}
+	if b.FunctionalSec <= 0 {
+		t.Error("functional time missing")
+	}
+}
+
+// The Fig 13 sanity check: for a SMARTS-shaped cost ledger, total time is
+// dominated by functional warming, not detailed simulation, exactly as the
+// paper argues (§6).
+func TestFunctionalDominatesSMARTSShape(t *testing.T) {
+	r := PaperRates()
+	smarts := sampling.Costs{
+		Detailed:       1_000_000,
+		DetailedWarm:   3_000_000,
+		FunctionalWarm: 996_000_000,
+	}
+	b := r.Apply(smarts)
+	if b.FunctionalSec < 10*b.DetailedTotal() {
+		t.Errorf("functional %g s vs detailed %g s: expected domination",
+			b.FunctionalSec, b.DetailedTotal())
+	}
+}

@@ -1,0 +1,299 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Working-set presets in 64-bit words against the default hierarchy
+// (L1D = 8k words, L2 = 128k words).
+const (
+	wsSmall  = 4 << 10   // 32 KB: L1-resident
+	wsMedium = 32 << 10  // 256 KB: L2-resident
+	wsLarge  = 512 << 10 // 4 MB: L2-busting
+)
+
+// jitter returns ops scaled by a random factor in [1-f, 1+f].
+func jitter(rng *rand.Rand, ops uint64, f float64) uint64 {
+	s := 1 - f + 2*f*rng.Float64()
+	v := uint64(float64(ops) * s)
+	if v == 0 {
+		v = 1
+	}
+	return v
+}
+
+// fixed builds a pattern function for a static cycle with optional length
+// jitter fraction f.
+func fixed(f float64, segs ...Segment) func(*rand.Rand, int) []Segment {
+	return func(rng *rand.Rand, rep int) []Segment {
+		out := make([]Segment, len(segs))
+		for i, s := range segs {
+			out[i] = Segment{Kernel: s.Kernel, Ops: jitter(rng, s.Ops, f)}
+		}
+		return out
+	}
+}
+
+// micro builds a pattern of `count` alternating micro-segments drawn from
+// the given kernels with per-segment op ranges; this reproduces the
+// high-frequency 40–50k-op (scaled: 4–5k) behaviours of 179.art/181.mcf
+// that are "in no way synchronized with the BBV sampling" (§5).
+func micro(count int, kernels []int, lo, hi uint64) func(*rand.Rand, int) []Segment {
+	return func(rng *rand.Rand, rep int) []Segment {
+		out := make([]Segment, count)
+		for i := range out {
+			span := lo + uint64(rng.Int63n(int64(hi-lo+1)))
+			out[i] = Segment{Kernel: kernels[i%len(kernels)], Ops: span}
+		}
+		return out
+	}
+}
+
+// registry holds all benchmark specs by name.
+var registry = map[string]*Spec{}
+
+func register(s *Spec) *Spec {
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("workload: duplicate benchmark %q", s.Name))
+	}
+	registry[s.Name] = s
+	return s
+}
+
+// Names returns all benchmark names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Get returns the spec for name.
+func Get(name string) (*Spec, error) {
+	s, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
+	}
+	return s, nil
+}
+
+// PaperTen returns the ten Spec2000 benchmarks of the paper's evaluation,
+// in the order of its figures.
+func PaperTen() []*Spec {
+	names := []string{
+		"164.gzip", "177.mesa", "179.art", "181.mcf", "183.equake",
+		"188.ammp", "197.parser", "253.perlbmk", "256.bzip2", "300.twolf",
+	}
+	out := make([]*Spec, len(names))
+	for i, n := range names {
+		s, err := Get(n)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// The benchmark suite. Segment lengths are expressed at the default scale
+// (S=10: one tenth of the paper's SPEC-scale op counts), so the default
+// 1e8-op builds correspond to 1e9-op paper runs.
+var (
+	// 164.gzip: coarse compress/scan phases with short high-IPC bursts —
+	// the fine-grained variation Fig 2 averages out at coarse sampling.
+	Gzip = register(&Spec{
+		Name: "164.gzip",
+		Kernels: []KernelSpec{
+			{Name: "deflate", Kind: Stream, WSWords: wsMedium, ComputePerMem: 2},
+			{Name: "huff", Kind: Branchy, WSWords: wsSmall, TakenMask: 1},
+			{Name: "crc", Kind: Compute, Chains: 5},
+			{Name: "window", Kind: Stream, WSWords: 64 << 10, StrideWords: 8, ComputePerMem: 1},
+		},
+		Pattern: func(rng *rand.Rand, rep int) []Segment {
+			segs := []Segment{
+				{0, jitter(rng, 1_500_000, 0.2)},
+				{2, jitter(rng, 60_000, 0.4)},
+				{0, jitter(rng, 1_500_000, 0.2)},
+				{1, jitter(rng, 1_200_000, 0.2)},
+				{2, jitter(rng, 2_000_000, 0.15)},
+				{3, jitter(rng, 700_000, 0.2)},
+			}
+			return segs
+		},
+		DefaultOps: 300_000_000,
+		Seed:       164,
+	})
+
+	// 177.mesa: FP-compute heavy, high IPC, mild phase behaviour.
+	Mesa = register(&Spec{
+		Name: "177.mesa",
+		Kernels: []KernelSpec{
+			{Name: "shade", Kind: Compute, Chains: 6, FP: true},
+			{Name: "texture", Kind: Stream, WSWords: wsSmall, ComputePerMem: 3, FP: true},
+			{Name: "zbuf", Kind: Stream, WSWords: wsMedium, ComputePerMem: 2, FP: true},
+		},
+		Pattern:    fixed(0.1, Segment{0, 4_000_000}, Segment{1, 2_000_000}, Segment{0, 3_000_000}, Segment{2, 1_000_000}),
+		DefaultOps: 300_000_000,
+		Seed:       177,
+	})
+
+	// 179.art: two L2-busting strided FP sweeps alternating every 4–6k
+	// ops; very low IPC, unsynchronised micro-phases.
+	Art = register(&Spec{
+		Name: "179.art",
+		Kernels: []KernelSpec{
+			{Name: "f1scan", Kind: Stream, WSWords: wsLarge, StrideWords: 8, ComputePerMem: 1, FP: true},
+			{Name: "f2match", Kind: Stream, WSWords: wsMedium, ComputePerMem: 2, FP: true},
+		},
+		Pattern:    micro(200, []int{0, 1}, 4000, 6000),
+		DefaultOps: 240_000_000,
+		Seed:       179,
+	})
+
+	// 181.mcf: permutation pointer-chasing over 4 MB with interleaved
+	// short refill sweeps; the suite's lowest IPC.
+	Mcf = register(&Spec{
+		Name: "181.mcf",
+		Kernels: []KernelSpec{
+			{Name: "arcs", Kind: Pointer, WSWords: wsLarge, ComputePerMem: 1},
+			{Name: "refill", Kind: Stream, WSWords: 16 << 10, ComputePerMem: 1},
+		},
+		Pattern:    micro(150, []int{0, 1}, 4000, 6000),
+		DefaultOps: 210_000_000,
+		Seed:       181,
+	})
+
+	// 183.equake: long FP sweep phases over a large mesh with solver
+	// bursts.
+	Equake = register(&Spec{
+		Name: "183.equake",
+		Kernels: []KernelSpec{
+			{Name: "smvp", Kind: Stream, WSWords: 64 << 10, StrideWords: 8, ComputePerMem: 2, FP: true},
+			{Name: "solve", Kind: Compute, Chains: 4, FP: true},
+			{Name: "update", Kind: Stream, WSWords: wsMedium, ComputePerMem: 2, FP: true},
+		},
+		Pattern: fixed(0.1,
+			Segment{0, 5_000_000}, Segment{1, 1_500_000}, Segment{2, 2_000_000},
+			Segment{0, 4_000_000}, Segment{1, 1_000_000}),
+		DefaultOps: 330_000_000,
+		Seed:       183,
+	})
+
+	// 188.ammp: long, stable FP phases.
+	Ammp = register(&Spec{
+		Name: "188.ammp",
+		Kernels: []KernelSpec{
+			{Name: "forces", Kind: Stream, WSWords: 64 << 10, ComputePerMem: 3, FP: true},
+			{Name: "neighb", Kind: Pointer, WSWords: 8 << 10, ComputePerMem: 2},
+			{Name: "integrate", Kind: Compute, Chains: 5, FP: true},
+		},
+		Pattern:    fixed(0.05, Segment{0, 8_000_000}, Segment{1, 3_000_000}, Segment{2, 4_000_000}),
+		DefaultOps: 360_000_000,
+		Seed:       188,
+	})
+
+	// 197.parser: many short phases of poorly predictable branching and
+	// small-structure chasing.
+	Parser = register(&Spec{
+		Name: "197.parser",
+		Kernels: []KernelSpec{
+			{Name: "match", Kind: Branchy, WSWords: wsSmall, TakenMask: 1},
+			{Name: "dict", Kind: Pointer, WSWords: 8 << 10, ComputePerMem: 1},
+			{Name: "tokens", Kind: Stream, WSWords: wsSmall, ComputePerMem: 2},
+			{Name: "link", Kind: Compute, Chains: 3},
+		},
+		Pattern: fixed(0.25,
+			Segment{0, 400_000}, Segment{1, 250_000}, Segment{2, 500_000},
+			Segment{0, 300_000}, Segment{3, 350_000}, Segment{1, 200_000}),
+		DefaultOps: 270_000_000,
+		Seed:       197,
+	})
+
+	// 253.perlbmk: an irregular interpreter — every repetition draws a
+	// different segment mix from six behaviours.
+	Perlbmk = register(&Spec{
+		Name: "253.perlbmk",
+		Kernels: []KernelSpec{
+			{Name: "opcode", Kind: Branchy, WSWords: 8 << 10, TakenMask: 3},
+			{Name: "eval", Kind: Compute, Chains: 5},
+			{Name: "strops", Kind: Stream, WSWords: wsMedium, ComputePerMem: 2},
+			{Name: "hash", Kind: Pointer, WSWords: wsMedium, ComputePerMem: 1},
+			{Name: "substr", Kind: Stream, WSWords: wsSmall, ComputePerMem: 3},
+			{Name: "regex", Kind: Branchy, WSWords: wsSmall, TakenMask: 1},
+		},
+		Pattern: func(rng *rand.Rand, rep int) []Segment {
+			segs := make([]Segment, 8)
+			for i := range segs {
+				segs[i] = Segment{
+					Kernel: rng.Intn(6),
+					Ops:    300_000 + uint64(rng.Int63n(600_001)),
+				}
+			}
+			return segs
+		},
+		DefaultOps: 300_000_000,
+		Seed:       253,
+	})
+
+	// 256.bzip2: strongly alternating medium-length phases.
+	Bzip2 = register(&Spec{
+		Name: "256.bzip2",
+		Kernels: []KernelSpec{
+			{Name: "sort", Kind: Stream, WSWords: 32 << 10, ComputePerMem: 1},
+			{Name: "mtf", Kind: Branchy, WSWords: 16 << 10, TakenMask: 1},
+			{Name: "rle", Kind: Stream, WSWords: 64 << 10, StrideWords: 8, ComputePerMem: 1},
+		},
+		Pattern: fixed(0.1,
+			Segment{0, 2_500_000}, Segment{1, 1_800_000},
+			Segment{0, 2_000_000}, Segment{2, 1_500_000}),
+		DefaultOps: 300_000_000,
+		Seed:       256,
+	})
+
+	// 300.twolf: weak coarse phase behaviour — two near-identical placer
+	// kernels — with rare short bursts of abnormal performance, giving the
+	// small overall σ the Fig 10 study depends on.
+	Twolf = register(&Spec{
+		Name: "300.twolf",
+		Kernels: []KernelSpec{
+			{Name: "place", Kind: Stream, WSWords: 8 << 10, ComputePerMem: 3},
+			{Name: "swap", Kind: Stream, WSWords: 8 << 10, StrideWords: 2, ComputePerMem: 3},
+			{Name: "score", Kind: Compute, Chains: 6},
+			{Name: "netlist", Kind: Pointer, WSWords: wsMedium, ComputePerMem: 1},
+		},
+		Pattern: func(rng *rand.Rand, rep int) []Segment {
+			segs := []Segment{
+				{0, jitter(rng, 2_000_000, 0.1)},
+				{1, jitter(rng, 2_000_000, 0.1)},
+				{0, jitter(rng, 2_000_000, 0.1)},
+				{1, jitter(rng, 2_000_000, 0.1)},
+			}
+			// Periodic short abnormal bursts: high-IPC scoring or
+			// low-IPC netlist walks.
+			if rep%2 == 0 {
+				segs = append(segs, Segment{2, jitter(rng, 30_000, 0.3)})
+			} else {
+				segs = append(segs, Segment{3, jitter(rng, 30_000, 0.3)})
+			}
+			return segs
+		},
+		DefaultOps: 300_000_000,
+		Seed:       300,
+	})
+
+	// 168.wupwise: the Fig 3 motivator — long, strongly bimodal phases.
+	Wupwise = register(&Spec{
+		Name: "168.wupwise",
+		Kernels: []KernelSpec{
+			{Name: "zgemm", Kind: Stream, WSWords: 8 << 10, ComputePerMem: 6, FP: true},
+			{Name: "gammul", Kind: Stream, WSWords: wsLarge, ComputePerMem: 1, FP: true},
+		},
+		Pattern:    fixed(0.05, Segment{0, 12_000_000}, Segment{1, 10_000_000}),
+		DefaultOps: 330_000_000,
+		Seed:       168,
+	})
+)

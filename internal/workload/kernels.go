@@ -1,0 +1,369 @@
+// Package workload generates the synthetic SPEC2000-like benchmarks the
+// evaluation runs on. Each benchmark is real code for the simulated
+// machine: a set of loop kernels with controlled microarchitectural
+// behaviour (working-set size, memory pattern, instruction-level
+// parallelism, branch predictability, FP mix) driven by a phase schedule.
+// Different kernels live at different code addresses, so phases are
+// visible to the BBV tracker exactly as SPEC program phases are; IPC
+// differences emerge from the cycle-level simulator, not from annotation.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pgss/internal/isa"
+	"pgss/internal/program"
+)
+
+// KernelKind selects a kernel emitter.
+type KernelKind int
+
+// Kernel kinds.
+const (
+	// Stream sweeps an array with a fixed stride: loads, computation,
+	// interleaved stores; predictable branches, tunable ILP.
+	Stream KernelKind = iota
+	// Pointer chases a random permutation: serialised dependent loads;
+	// very low IPC when the working set exceeds the cache.
+	Pointer
+	// Compute runs register-only arithmetic chains; no memory traffic.
+	Compute
+	// Branchy loads pseudo-random values and branches on them: data-
+	// dependent, poorly predictable control flow.
+	Branchy
+
+	// initSweep is internal: the startup initialisation kernel Spec.Build
+	// prepends to every benchmark. It performs a load-only, line-stride
+	// sweep of the whole data segment, mirroring the input-reading phase
+	// of real programs; without it, the first occurrence of every phase
+	// would run against cold caches and its early samples would poison the
+	// phase's CPI statistics.
+	initSweep KernelKind = 98
+)
+
+func (k KernelKind) String() string {
+	switch k {
+	case Stream:
+		return "stream"
+	case Pointer:
+		return "pointer"
+	case Compute:
+		return "compute"
+	case Branchy:
+		return "branchy"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// KernelSpec describes one kernel of a benchmark.
+type KernelSpec struct {
+	Name string
+	Kind KernelKind
+
+	// WSWords is the working-set size in 64-bit words; must be a power of
+	// two (the wrap is a mask). Ignored by Compute.
+	WSWords int
+	// StrideWords is the sweep stride for Stream (default 1).
+	StrideWords int64
+	// ComputePerMem adds this many arithmetic ops per memory access in
+	// Stream/Pointer bodies.
+	ComputePerMem int
+	// FP selects floating-point latencies for the arithmetic.
+	FP bool
+	// Chains is the number of independent dependency chains in Compute
+	// (1 = fully serial; more = more ILP). Default 4.
+	Chains int
+	// TakenMask controls Branchy predictability: the branch tests
+	// value&TakenMask == 0, so larger masks are taken more rarely. A mask
+	// of 1 gives ~50/50 data-dependent branches. Default 1.
+	TakenMask int64
+}
+
+// unroll is the number of body blocks per outer loop iteration in every
+// kernel; it amortises loop overhead and gives each kernel several static
+// basic blocks.
+const unroll = 8
+
+// built describes an emitted kernel.
+type built struct {
+	spec  KernelSpec
+	label string
+	// opsPerIter is the exact number of instructions retired per outer
+	// iteration (verified by tests).
+	opsPerIter uint64
+	// callOverhead is the exact number of instructions retired per call
+	// outside the outer loop (entry + exit, including RET).
+	callOverhead uint64
+	// stateWord/baseWord locate the cursor word and the data array.
+	stateWord int
+	baseWord  int
+}
+
+// emit writes the kernel's code and data into b. Kernels follow a common
+// contract: S0 holds the outer iteration count on entry; T6, T7 and SP are
+// preserved; everything else may be clobbered; the cursor persists in the
+// kernel's state word across calls.
+func (ks KernelSpec) emit(b *program.Builder, rng *rand.Rand) (built, error) {
+	if ks.Kind != Compute {
+		if ks.WSWords <= 0 || ks.WSWords&(ks.WSWords-1) != 0 {
+			return built{}, fmt.Errorf("workload: kernel %s: working set %d not a power of two",
+				ks.Name, ks.WSWords)
+		}
+	}
+	bi := built{spec: ks, label: "kernel_" + ks.Name}
+	bi.stateWord = b.AllocData(1)
+	switch ks.Kind {
+	case Compute:
+		// No data array.
+	case initSweep:
+		// Sweeps the already-allocated segment from word 0; pad the
+		// segment to the sweep's power-of-two span.
+		bi.baseWord = 0
+		if pad := ks.WSWords - b.DataWords(); pad > 0 {
+			b.AllocData(pad)
+		}
+	default:
+		bi.baseWord = b.AllocData(ks.WSWords)
+	}
+	switch ks.Kind {
+	case Pointer:
+		initPermutation(b, bi.baseWord, ks.WSWords, rng)
+	case Branchy:
+		initRandomValues(b, bi.baseWord, ks.WSWords, rng)
+	}
+
+	// The caller has already positioned the builder on this kernel's own
+	// code page (see pagePlan); kernels only need their label here.
+	b.Label(bi.label)
+
+	entryStart := b.PC()
+	// Entry: S1 = cursor, S2 = array byte base, S3 = index mask.
+	b.LoadImm(isa.S2, int64(program.DataAddr(bi.baseWord)))
+	b.LoadImm(isa.S3, int64(ks.WSWords-1))
+	b.LoadImm(isa.T5, int64(program.DataAddr(bi.stateWord)))
+	b.Load(isa.S1, isa.T5, 0)
+	entryOps := uint64(b.PC() - entryStart)
+
+	loop := bi.label + "_outer"
+	b.Label(loop)
+	var bodyOps uint64
+	var err error
+	switch ks.Kind {
+	case Stream:
+		bodyOps = ks.emitStreamBody(b, bi.label)
+	case Pointer:
+		bodyOps = ks.emitPointerBody(b, bi.label)
+	case Compute:
+		bodyOps = ks.emitComputeBody(b, bi.label)
+	case Branchy:
+		bodyOps, err = ks.emitBranchyBody(b, bi.label)
+	case initSweep:
+		bodyOps = ks.emitInitBody(b, bi.label)
+	default:
+		err = fmt.Errorf("workload: kernel %s: unknown kind %v", ks.Name, ks.Kind)
+	}
+	if err != nil {
+		return built{}, err
+	}
+	// Loop tail: decrement and branch back.
+	b.OpI(isa.ADDI, isa.S0, isa.S0, -1)
+	b.Branch(isa.BNE, isa.S0, isa.Zero, loop)
+	bi.opsPerIter = bodyOps + 2
+
+	// Exit: persist cursor, return.
+	exitStart := b.PC()
+	b.Store(isa.S1, isa.T5, 0)
+	b.Ret()
+	bi.callOverhead = entryOps + uint64(b.PC()-exitStart)
+	return bi, nil
+}
+
+// hop emits a taken jump over a small block of unexecuted padding. Real
+// basic blocks end in taken branches at many distinct addresses; these
+// hops give every kernel a multi-component BBV signature instead of a
+// single-loop-branch one-hot vector (which would alias catastrophically in
+// the 32-register hash). The padding gap is derived from the kernel name
+// and block index, so every kernel has a unique address layout within its
+// code page — as the differently-sized basic blocks of real functions do.
+// Hops are perfectly predictable and the padding never executes, so the
+// timing cost is one issue slot.
+func hop(b *program.Builder, prefix string, u int) {
+	name := fmt.Sprintf("%s_h%d", prefix, u)
+	b.Jump(name)
+	gap := int((fnv(prefix) + uint32(u)*2654435761) % 96)
+	for i := 0; i < gap; i++ {
+		b.Emit(isa.Inst{Op: isa.NOP})
+	}
+	b.Label(name)
+}
+
+// fnv is the FNV-1a hash of s (address-layout derivation only).
+func fnv(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// emitStreamBody emits `unroll` blocks of load / compute / store sweep.
+// Returns the retired ops per iteration contributed by the body.
+func (ks KernelSpec) emitStreamBody(b *program.Builder, prefix string) uint64 {
+	stride := ks.StrideWords
+	if stride == 0 {
+		stride = 1
+	}
+	op := isa.ADD
+	if ks.FP {
+		op = isa.FADD
+	}
+	var ops uint64
+	for u := 0; u < unroll; u++ {
+		b.Op(isa.AND, isa.T0, isa.S1, isa.S3) // wrap index
+		b.OpI(isa.SLLI, isa.T1, isa.T0, 3)    // byte offset
+		b.Op(isa.ADD, isa.T1, isa.S2, isa.T1)
+		b.Load(isa.T2, isa.T1, 0)
+		ops += 4
+		// Independent compute on rotating accumulators keeps ILP high.
+		for c := 0; c < ks.ComputePerMem; c++ {
+			acc := isa.S4 + isa.Reg(c%3)
+			b.Op(op, acc, acc, isa.T2)
+			ops++
+		}
+		if u%2 == 1 { // store back every other block
+			b.Store(isa.T2, isa.T1, 0)
+			ops++
+		}
+		b.OpI(isa.ADDI, isa.S1, isa.S1, stride)
+		ops++
+		hop(b, prefix, u)
+		ops++
+	}
+	return ops
+}
+
+// emitPointerBody emits `unroll` serialised permutation-following loads.
+func (ks KernelSpec) emitPointerBody(b *program.Builder, prefix string) uint64 {
+	op := isa.ADD
+	if ks.FP {
+		op = isa.FADD
+	}
+	var ops uint64
+	for u := 0; u < unroll; u++ {
+		b.OpI(isa.SLLI, isa.T1, isa.S1, 3)
+		b.Op(isa.ADD, isa.T1, isa.S2, isa.T1)
+		b.Load(isa.S1, isa.T1, 0) // S1 = perm[S1]: the serial dependence
+		ops += 3
+		for c := 0; c < ks.ComputePerMem; c++ {
+			acc := isa.S4 + isa.Reg(c%3)
+			b.Op(op, acc, acc, isa.T1)
+			ops++
+		}
+		hop(b, prefix, u)
+		ops++
+	}
+	return ops
+}
+
+// emitComputeBody emits `unroll` blocks of `Chains` interleaved dependency
+// chains.
+func (ks KernelSpec) emitComputeBody(b *program.Builder, prefix string) uint64 {
+	chains := ks.Chains
+	if chains <= 0 {
+		chains = 4
+	}
+	if chains > 6 {
+		chains = 6
+	}
+	op := isa.ADD
+	if ks.FP {
+		op = isa.FMUL
+	}
+	var ops uint64
+	for u := 0; u < unroll; u++ {
+		for c := 0; c < chains; c++ {
+			acc := isa.S2 + isa.Reg(c) // S2..S7 as chain accumulators
+			b.OpI(isa.ADDI, isa.T0, isa.Zero, int64(u+c+1))
+			b.Op(op, acc, acc, isa.T0)
+			ops += 2
+		}
+		hop(b, prefix, u)
+		ops++
+	}
+	return ops
+}
+
+// emitBranchyBody emits `unroll` blocks of data-dependent branching with
+// balanced arm lengths, so the retired op count per iteration is exact
+// regardless of the data.
+func (ks KernelSpec) emitBranchyBody(b *program.Builder, prefix string) (uint64, error) {
+	mask := ks.TakenMask
+	if mask == 0 {
+		mask = 1
+	}
+	var ops uint64
+	for u := 0; u < unroll; u++ {
+		odd := fmt.Sprintf("%s_odd_%d", prefix, u)
+		join := fmt.Sprintf("%s_join_%d", prefix, u)
+		b.Op(isa.AND, isa.T0, isa.S1, isa.S3)
+		b.OpI(isa.SLLI, isa.T1, isa.T0, 3)
+		b.Op(isa.ADD, isa.T1, isa.S2, isa.T1)
+		b.Load(isa.T2, isa.T1, 0)
+		b.OpI(isa.ANDI, isa.T3, isa.T2, mask)
+		b.Branch(isa.BNE, isa.T3, isa.Zero, odd)
+		// Not-taken arm: 3 retired ops including the JMP.
+		b.Op(isa.ADD, isa.S4, isa.S4, isa.T2)
+		b.Op(isa.XOR, isa.S5, isa.S5, isa.T2)
+		b.Jump(join)
+		// Taken arm: 3 retired ops, falls through to join.
+		b.Label(odd)
+		b.Op(isa.SUB, isa.S4, isa.S4, isa.T2)
+		b.Op(isa.OR, isa.S5, isa.S5, isa.T2)
+		b.OpI(isa.ADDI, isa.S6, isa.S6, 1)
+		b.Label(join)
+		b.OpI(isa.ADDI, isa.S1, isa.S1, 1)
+		// Common 6 + arm 3 + join 1.
+		ops += 10
+	}
+	return ops, nil
+}
+
+// emitInitBody emits `unroll` load-only line-stride touches; one load per
+// 64-byte line is enough to install it in the hierarchy.
+func (ks KernelSpec) emitInitBody(b *program.Builder, prefix string) uint64 {
+	var ops uint64
+	for u := 0; u < unroll; u++ {
+		b.Op(isa.AND, isa.T0, isa.S1, isa.S3)
+		b.OpI(isa.SLLI, isa.T1, isa.T0, 3)
+		b.Op(isa.ADD, isa.T1, isa.S2, isa.T1)
+		b.Load(isa.T2, isa.T1, 0)
+		b.OpI(isa.ADDI, isa.S1, isa.S1, 8)
+		ops += 5
+		hop(b, prefix, u)
+		ops++
+	}
+	return ops
+}
+
+// initPermutation fills words [base, base+n) with a single random cycle:
+// following perm[i] visits every element before returning, the worst case
+// for caches and the shape of mcf's pointer chasing.
+func initPermutation(b *program.Builder, base, n int, rng *rand.Rand) {
+	order := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		from := order[i]
+		to := order[(i+1)%n]
+		b.InitData(base+from, int64(to))
+	}
+}
+
+// initRandomValues fills words with deterministic pseudo-random values for
+// data-dependent branching.
+func initRandomValues(b *program.Builder, base, n int, rng *rand.Rand) {
+	for i := 0; i < n; i++ {
+		b.InitData(base+i, int64(rng.Uint64()>>1))
+	}
+}

@@ -1,0 +1,346 @@
+// Package pgss is the public API of the PGSS-Sim reproduction: sampled
+// microarchitecture simulation with Phase-Guided Small-Sample Simulation
+// (Kihm, Strom & Connors, ISPASS 2007) and the baseline techniques it is
+// evaluated against (SMARTS, TurboSMARTS, SimPoint, online SimPoint), on
+// top of a cycle-accurate 4-wide in-order core simulator and a synthetic
+// SPEC2000-like benchmark suite.
+//
+// # Quick start
+//
+//	spec, _ := pgss.Benchmark("164.gzip")
+//	prof, _ := pgss.Record(spec, 10_000_000) // one detailed pass: the truth
+//	res, st, _ := pgss.RunPGSS(prof, pgss.DefaultPGSSConfig(pgss.DefaultScale))
+//	fmt.Printf("true %.3f est %.3f err %.2f%% with %d detailed ops (%d phases)\n",
+//		res.TrueIPC, res.EstimatedIPC, res.ErrorPct(),
+//		res.Costs.DetailedTotal(), st.Phases)
+//
+// All window parameters (sampling periods, interval sizes, the spread
+// rule) are the paper's values divided by a scale factor; DefaultScale=10
+// corresponds to benchmarks one tenth of SPEC2000 reference length. Sample
+// and warm-up sizes (1k/3k ops) are absolute, as in the paper.
+package pgss
+
+import (
+	"math"
+
+	"pgss/internal/bbv"
+	"pgss/internal/checkpoint"
+	"pgss/internal/cmp"
+	"pgss/internal/core"
+	"pgss/internal/cpu"
+	"pgss/internal/profile"
+	"pgss/internal/program"
+	"pgss/internal/sampling"
+	"pgss/internal/trace"
+	"pgss/internal/workload"
+)
+
+// DefaultScale is the standard parameter scale divisor relative to the
+// paper's SPEC-scale values.
+const DefaultScale uint64 = 10
+
+// Re-exported types. Aliases keep the full method sets usable from outside
+// the module while the implementation lives in internal packages.
+type (
+	// Program is an executable image for the simulated machine.
+	Program = program.Program
+	// WorkloadSpec describes a synthetic benchmark.
+	WorkloadSpec = workload.Spec
+	// KernelSpec describes one kernel of a benchmark.
+	KernelSpec = workload.KernelSpec
+	// Segment is one schedule entry of a benchmark.
+	Segment = workload.Segment
+	// Profile is a recorded detailed run that sampling techniques replay.
+	Profile = profile.Profile
+	// Result is the outcome of one estimation run.
+	Result = sampling.Result
+	// Costs tallies simulated ops by execution mode.
+	Costs = sampling.Costs
+	// Target is an execution a sequential sampling controller drives.
+	Target = sampling.Target
+	// PGSSConfig parameterises PGSS-Sim.
+	PGSSConfig = core.Config
+	// PGSSStats carries PGSS-specific diagnostics.
+	PGSSStats = core.Stats
+	// SMARTSConfig parameterises SMARTS.
+	SMARTSConfig = sampling.SMARTSConfig
+	// TurboSMARTSConfig parameterises TurboSMARTS.
+	TurboSMARTSConfig = sampling.TurboSMARTSConfig
+	// SimPointConfig parameterises offline SimPoint.
+	SimPointConfig = sampling.SimPointConfig
+	// OnlineSimPointConfig parameterises the online SimPoint baseline.
+	OnlineSimPointConfig = sampling.OnlineSimPointConfig
+	// CoreConfig sizes the simulated processor.
+	CoreConfig = cpu.CoreConfig
+)
+
+// Kernel kinds for custom WorkloadSpec definitions.
+const (
+	// KernelStream sweeps an array with a fixed stride.
+	KernelStream = workload.Stream
+	// KernelPointer chases a random permutation (serialised loads).
+	KernelPointer = workload.Pointer
+	// KernelCompute runs register-only arithmetic chains.
+	KernelCompute = workload.Compute
+	// KernelBranchy branches on pseudo-random data.
+	KernelBranchy = workload.Branchy
+)
+
+// Benchmarks returns the names of the built-in synthetic benchmarks.
+func Benchmarks() []string { return workload.Names() }
+
+// Benchmark returns the spec of a built-in benchmark.
+func Benchmark(name string) (*WorkloadSpec, error) { return workload.Get(name) }
+
+// DefaultCoreConfig is the paper's evaluation machine: 4-wide in-order,
+// split 4-way 64 KB L1 I/D, unified 1 MB L2, gshare prediction.
+func DefaultCoreConfig() CoreConfig { return cpu.DefaultCoreConfig() }
+
+// Record builds the benchmark at the given length (0 = its default) and
+// runs one full detailed simulation, returning the recorded profile. The
+// profile holds the ground-truth IPC and everything the sampling
+// techniques need for replay.
+func Record(spec *WorkloadSpec, totalOps uint64) (*Profile, error) {
+	return RecordWithCore(spec, totalOps, DefaultCoreConfig())
+}
+
+// RecordWithCore is Record with an explicit processor configuration (for
+// design-space exploration).
+func RecordWithCore(spec *WorkloadSpec, totalOps uint64, cc CoreConfig) (*Profile, error) {
+	prog, err := spec.Build(totalOps)
+	if err != nil {
+		return nil, err
+	}
+	return RecordProgram(prog, cc)
+}
+
+// RecordProgram runs one full detailed simulation of an arbitrary program.
+func RecordProgram(prog *Program, cc CoreConfig) (*Profile, error) {
+	m, err := cpu.NewMachine(prog)
+	if err != nil {
+		return nil, err
+	}
+	c, err := cpu.NewCore(m, cc)
+	if err != nil {
+		return nil, err
+	}
+	hash, err := bbv.NewHash(bbv.DefaultHashBits, defaultHashSeed)
+	if err != nil {
+		return nil, err
+	}
+	return profile.Record(c, hash, profile.DefaultConfig())
+}
+
+// defaultHashSeed fixes the BBV hash bit selection across the library.
+const defaultHashSeed = 42
+
+// NewTarget wraps a profile as a replay target for the sequential
+// controllers (PGSS, SMARTS, Full).
+func NewTarget(p *Profile) Target { return sampling.NewProfileTarget(p) }
+
+// NewLiveTarget drives a fresh simulation of the program directly instead
+// of replaying a profile; trueIPC may be zero when unknown.
+func NewLiveTarget(prog *Program, cc CoreConfig, trueIPC float64) (Target, error) {
+	m, err := cpu.NewMachine(prog)
+	if err != nil {
+		return nil, err
+	}
+	c, err := cpu.NewCore(m, cc)
+	if err != nil {
+		return nil, err
+	}
+	hash, err := bbv.NewHash(bbv.DefaultHashBits, defaultHashSeed)
+	if err != nil {
+		return nil, err
+	}
+	return sampling.NewLiveTarget(c, hash, 0, trueIPC), nil
+}
+
+// DefaultPGSSConfig returns the paper's best overall PGSS configuration
+// (1M-op BBV period, .05π threshold) at the given scale.
+func DefaultPGSSConfig(scale uint64) PGSSConfig { return core.DefaultConfig(scale) }
+
+// RunPGSS runs Phase-Guided Small-Sample Simulation over a profile.
+func RunPGSS(p *Profile, cfg PGSSConfig) (Result, PGSSStats, error) {
+	return core.Run(sampling.NewProfileTarget(p), cfg)
+}
+
+// RunPGSSOn runs PGSS over any target (e.g. a live simulation).
+func RunPGSSOn(t Target, cfg PGSSConfig) (Result, PGSSStats, error) {
+	return core.Run(t, cfg)
+}
+
+// DefaultSMARTSConfig returns the paper's SMARTS parameters at the given
+// scale.
+func DefaultSMARTSConfig(scale uint64) SMARTSConfig {
+	return sampling.DefaultSMARTSConfig(scale)
+}
+
+// RunSMARTS runs SMARTS systematic sampling over a profile.
+func RunSMARTS(p *Profile, cfg SMARTSConfig) (Result, error) {
+	return sampling.SMARTS(sampling.NewProfileTarget(p), cfg)
+}
+
+// RunSMARTSOn runs SMARTS over any target.
+func RunSMARTSOn(t Target, cfg SMARTSConfig) (Result, error) {
+	return sampling.SMARTS(t, cfg)
+}
+
+// DefaultTurboSMARTSConfig returns the paper's TurboSMARTS setup at the
+// given scale.
+func DefaultTurboSMARTSConfig(scale uint64) TurboSMARTSConfig {
+	return sampling.DefaultTurboSMARTSConfig(scale)
+}
+
+// RunTurboSMARTS runs TurboSMARTS random-order checkpoint sampling.
+func RunTurboSMARTS(p *Profile, cfg TurboSMARTSConfig) (Result, error) {
+	return sampling.TurboSMARTS(p, cfg)
+}
+
+// RunSimPoint runs offline SimPoint (k-means over interval BBVs).
+func RunSimPoint(p *Profile, cfg SimPointConfig) (Result, error) {
+	return sampling.SimPoint(p, cfg)
+}
+
+// SimPointSweep returns the paper's eleven SimPoint configurations.
+func SimPointSweep(scale uint64) []SimPointConfig { return sampling.SimPointSweep(scale) }
+
+// RunOnlineSimPoint runs the online SimPoint baseline.
+func RunOnlineSimPoint(p *Profile, cfg OnlineSimPointConfig) (Result, error) {
+	return sampling.OnlineSimPoint(p, cfg)
+}
+
+// OnlineSimPointOverall is the paper's best overall online-SimPoint
+// configuration.
+func OnlineSimPointOverall(scale uint64) OnlineSimPointConfig {
+	return sampling.OnlineSimPointOverall(scale)
+}
+
+// StratifiedConfig parameterises the stratified-sampling baseline.
+type StratifiedConfig = sampling.StratifiedConfig
+
+// DefaultStratifiedConfig returns the Wunderlich et al. [17] stratified
+// setup at the given scale.
+func DefaultStratifiedConfig(scale uint64) StratifiedConfig {
+	return sampling.DefaultStratifiedConfig(scale)
+}
+
+// RunStratified runs stratified small-sample simulation with oracle
+// (offline) strata — the technique the paper cites as reducing SMARTS
+// samples "by over forty times" when phase behaviour is known in advance.
+func RunStratified(p *Profile, cfg StratifiedConfig) (Result, error) {
+	return sampling.Stratified(p, cfg)
+}
+
+// RunFull runs the ground-truth full detailed simulation through the
+// sampling interface; its estimate equals the profile's true IPC.
+func RunFull(p *Profile) (Result, error) {
+	return sampling.Full(sampling.NewProfileTarget(p), p.BBVOps)
+}
+
+// PGSSSweep returns the Fig 11 PGSS configuration grid at the given scale.
+func PGSSSweep(scale uint64) []PGSSConfig { return core.Sweep(scale) }
+
+// Extensions beyond the paper's evaluation (its §7 future work).
+
+type (
+	// AdaptiveConfig parameterises the runtime-adaptive PGSS variant.
+	AdaptiveConfig = core.AdaptiveConfig
+	// AdaptiveStats carries the adaptive controller's adjustment history.
+	AdaptiveStats = core.AdaptiveStats
+	// CMPConfig sizes a chip multiprocessor.
+	CMPConfig = cmp.Config
+	// Checkpoint is a complete simulator snapshot (live-point).
+	Checkpoint = checkpoint.Checkpoint
+	// CheckpointLibrary provides random access into a run via
+	// checkpoints.
+	CheckpointLibrary = checkpoint.Library
+)
+
+// DefaultAdaptiveConfig returns the runtime-adaptive PGSS controller at
+// the given scale.
+func DefaultAdaptiveConfig(scale uint64) AdaptiveConfig {
+	return core.DefaultAdaptiveConfig(scale)
+}
+
+// RunAdaptivePGSS runs the runtime-adaptive PGSS variant (the paper's §7:
+// parameters "automatically adjusted to each benchmark ... at runtime").
+func RunAdaptivePGSS(p *Profile, cfg AdaptiveConfig) (Result, AdaptiveStats, error) {
+	return core.RunAdaptive(sampling.NewProfileTarget(p), cfg)
+}
+
+// DefaultCMPConfig replicates the paper's core around one shared L2.
+func DefaultCMPConfig() CMPConfig { return cmp.DefaultConfig() }
+
+// RecordCMP co-runs one program per core on a chip multiprocessor with a
+// shared L2 and returns one interference-inclusive profile per core; run
+// PGSS (or any technique) per core on those profiles.
+func RecordCMP(progs []*Program, cfg CMPConfig) ([]*Profile, error) {
+	hash, err := bbv.NewHash(bbv.DefaultHashBits, defaultHashSeed)
+	if err != nil {
+		return nil, err
+	}
+	machine, err := cmp.New(progs, hash, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return machine.Record()
+}
+
+// RecordCheckpoints runs one functional-warming pass over the program,
+// capturing a live-point checkpoint every strideOps retired ops; the
+// library then provides random access into the run (see Library.Seek and
+// Library.SampleAt).
+func RecordCheckpoints(prog *Program, cc CoreConfig, strideOps uint64) (*CheckpointLibrary, error) {
+	m, err := cpu.NewMachine(prog)
+	if err != nil {
+		return nil, err
+	}
+	c, err := cpu.NewCore(m, cc)
+	if err != nil {
+		return nil, err
+	}
+	return checkpoint.Record(c, strideOps, 0)
+}
+
+// NewCheckpointWorker builds a core suitable for Library.Seek/SampleAt
+// against the same program and configuration the library was recorded
+// with.
+func NewCheckpointWorker(prog *Program, cc CoreConfig) (*cpu.Core, error) {
+	m, err := cpu.NewMachine(prog)
+	if err != nil {
+		return nil, err
+	}
+	return cpu.NewCore(m, cc)
+}
+
+// PhaseTrace is one phase's cycle-close representative trace.
+type PhaseTrace = trace.PhaseTrace
+
+// Representative policies for CapturePhaseTraces.
+const (
+	// RepFirst uses each phase's first occurrence (Pereira et al.; subject
+	// to the warming bias the paper criticises in §3).
+	RepFirst = trace.RepFirst
+	// RepMedian uses the median occurrence, avoiding that bias.
+	RepMedian = trace.RepMedian
+)
+
+// CapturePhaseTraces analyses the program's phases online and captures one
+// cycle-close trace per phase (with its cache/predictor state), the
+// Pereira-style trace bundle the paper compares PGSS against.
+func CapturePhaseTraces(prog *Program, cc CoreConfig, intervalOps uint64,
+	thresholdPi float64, policy trace.RepPolicy) ([]PhaseTrace, error) {
+	hash, err := bbv.NewHash(bbv.DefaultHashBits, defaultHashSeed)
+	if err != nil {
+		return nil, err
+	}
+	return trace.PhaseTraces(prog, cc, hash, intervalOps, thresholdPi*math.Pi, policy)
+}
+
+// EstimateIPCFromTraces replays a phase-trace bundle through a fresh
+// pipeline of the given configuration and returns the weighted IPC
+// estimate.
+func EstimateIPCFromTraces(traces []PhaseTrace, cc CoreConfig) (float64, error) {
+	return trace.EstimateIPC(traces, cc)
+}
