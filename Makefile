@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test vet race bench ci clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The campaign runner and the suite's singleflight recording are concurrent;
+# the race detector is part of the acceptance bar, not an optional extra.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+ci: build vet test race
+
+clean:
+	$(GO) clean ./...

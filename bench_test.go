@@ -249,7 +249,10 @@ func BenchmarkKMeans(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	points := p.BBVSeries(100_000)
+	points, err := p.BBVSeries(100_000)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := cluster.KMeans(points, cluster.Config{K: 10, Seed: int64(i)}); err != nil {

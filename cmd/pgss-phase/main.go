@@ -32,12 +32,15 @@ func main() {
 	check(err)
 	prof, err := pgss.Record(spec, *ops)
 	check(err)
-	sigma := prof.IntervalStdDev(*gran)
+	sigma, err := prof.IntervalStdDev(*gran)
+	check(err)
 	fmt.Printf("%s: %d ops, true IPC %.4f, interval σ@%d = %.4f\n\n",
 		prof.Benchmark, prof.TotalOps, prof.TrueIPC(), *gran, sigma)
 
-	ipcs := prof.IPCSeries(*gran)
-	bbvs := prof.BBVSeries(*gran)
+	ipcs, err := prof.IPCSeries(*gran)
+	check(err)
+	bbvs, err := prof.BBVSeries(*gran)
+	check(err)
 	n := prof.NumFullWindows(*gran)
 	if len(ipcs) < n {
 		n = len(ipcs)

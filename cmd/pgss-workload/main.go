@@ -70,7 +70,10 @@ func main() {
 		core.Hier.L2.Stats().MissRate()*100, core.BP.Stats().MispredictRate()*100,
 		m.WildAccesses)
 
-	ipcs := p.IPCSeries(*gran)
+	ipcs, err := p.IPCSeries(*gran)
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("interval IPC @%d ops: n=%d mean=%.4f σ=%.4f min=%.4f p50=%.4f max=%.4f\n",
 		*gran, len(ipcs), stats.Mean(ipcs), stats.StdDev(ipcs),
 		stats.Percentile(ipcs, 0), stats.Percentile(ipcs, 50), stats.Percentile(ipcs, 100))

@@ -1,0 +1,362 @@
+// Package campaign is a concurrent, fault-tolerant runner for batches of
+// simulation runs (benchmark × technique × seed).
+//
+// A campaign executes its runs on a bounded worker pool. Each run is
+// hardened individually: a panic inside a run becomes a structured
+// ErrRunPanicked error attached to that run's outcome instead of crashing
+// the process, a per-run timeout converts into ErrBudgetExceeded through
+// context cancellation, and failures classified retryable by
+// pgsserrors.Retryable are retried with exponential backoff and jitter.
+// Every terminal outcome is appended to a JSONL journal, so a campaign
+// killed mid-flight (SIGINT, OOM, power loss) resumes by replaying the
+// journal and skipping runs already recorded as done. Cancelling the
+// campaign context drains the pool: in-flight runs abort cooperatively and
+// are journaled, queued runs are marked interrupted without starting.
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"pgss/internal/pgsserrors"
+	"pgss/internal/sampling"
+)
+
+// Spec identifies one run of a campaign.
+type Spec struct {
+	Benchmark string `json:"benchmark"`
+	Technique string `json:"technique"`
+	// Config is an optional free-form configuration label; two runs that
+	// differ only in parameters must differ in Config to journal
+	// independently.
+	Config string `json:"config,omitempty"`
+	Seed   int64  `json:"seed"`
+}
+
+// Key returns the stable journal identity of the run.
+func (s Spec) Key() string {
+	return fmt.Sprintf("%s|%s|%s|%d", s.Benchmark, s.Technique, s.Config, s.Seed)
+}
+
+func (s Spec) String() string {
+	if s.Config != "" {
+		return fmt.Sprintf("%s/%s[%s]#%d", s.Benchmark, s.Technique, s.Config, s.Seed)
+	}
+	return fmt.Sprintf("%s/%s#%d", s.Benchmark, s.Technique, s.Seed)
+}
+
+// Grid builds the cross product of benchmarks × techniques × seeds.
+func Grid(benchmarks, techniques []string, seeds []int64) []Spec {
+	if len(seeds) == 0 {
+		seeds = []int64{0}
+	}
+	out := make([]Spec, 0, len(benchmarks)*len(techniques)*len(seeds))
+	for _, b := range benchmarks {
+		for _, t := range techniques {
+			for _, s := range seeds {
+				out = append(out, Spec{Benchmark: b, Technique: t, Seed: s})
+			}
+		}
+	}
+	return out
+}
+
+// RunFunc executes one run. It must honour ctx: the runner cancels it on
+// per-run timeout and on campaign interruption. Panics are recovered by
+// the runner and converted to ErrRunPanicked.
+type RunFunc func(ctx context.Context, spec Spec) (sampling.Result, error)
+
+// Options configures a campaign.
+type Options struct {
+	// Jobs is the worker-pool width (default GOMAXPROCS).
+	Jobs int
+	// Timeout bounds each attempt (0 = unbounded). Expiry surfaces as an
+	// ErrBudgetExceeded-classed failure.
+	Timeout time.Duration
+	// MaxAttempts bounds tries per run (default 1 = no retries). Only
+	// failures with pgsserrors.Retryable(err) == true are retried.
+	MaxAttempts int
+	// Backoff is the base delay before the second attempt, doubling per
+	// further attempt (default 100ms); each delay is stretched by up to
+	// +50% random jitter so retried runs do not stampede.
+	Backoff time.Duration
+	// JournalPath appends one JSONL record per terminal outcome ("" = no
+	// journal, no resume).
+	JournalPath string
+	// Resume replays an existing journal first and skips runs it records
+	// as done. Without Resume an existing journal is truncated.
+	Resume bool
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, args ...any)
+
+	// sleep intercepts backoff waits (tests). Defaults to a
+	// context-sensitive timer wait.
+	sleep func(ctx context.Context, d time.Duration)
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Outcome is the terminal state of one run.
+type Outcome struct {
+	Spec     Spec
+	Result   sampling.Result
+	Err      error  // nil on success
+	ErrKind  string // pgsserrors.Kind of Err
+	Attempts int
+	Elapsed  time.Duration
+	// Resumed marks an outcome satisfied from the journal without
+	// re-running.
+	Resumed bool
+}
+
+// Failed reports whether the run ended in error.
+func (o Outcome) Failed() bool { return o.Err != nil }
+
+// Report aggregates a campaign.
+type Report struct {
+	// Outcomes holds one entry per input spec, in input order.
+	Outcomes []Outcome
+	// Completed counts successful runs (including resumed ones); Failed
+	// counts runs that exhausted their attempts; Resumed counts journal
+	// hits; Interrupted counts runs cancelled or never started because the
+	// campaign context ended.
+	Completed   int
+	Failed      int
+	Resumed     int
+	Interrupted int
+	// ErrorsByKind tallies failures by taxonomy class.
+	ErrorsByKind map[string]int
+}
+
+// Summary renders the one-paragraph error summary the CLI prints.
+func (r *Report) Summary() string {
+	s := fmt.Sprintf("campaign: %d/%d runs completed (%d resumed from journal)",
+		r.Completed, len(r.Outcomes), r.Resumed)
+	if r.Failed > 0 || r.Interrupted > 0 {
+		s += fmt.Sprintf(", %d failed, %d interrupted", r.Failed, r.Interrupted)
+	}
+	if len(r.ErrorsByKind) > 0 {
+		s += "; errors by kind:"
+		for _, k := range sortedKeys(r.ErrorsByKind) {
+			s += fmt.Sprintf(" %s=%d", k, r.ErrorsByKind[k])
+		}
+	}
+	return s
+}
+
+// FirstError returns the first failed outcome's error, or nil.
+func (r *Report) FirstError() error {
+	for _, o := range r.Outcomes {
+		if o.Err != nil {
+			return fmt.Errorf("%s: %w", o.Spec, o.Err)
+		}
+	}
+	return nil
+}
+
+// Run executes the campaign and returns its report. The returned error is
+// non-nil only for campaign-level failures (an unusable journal); per-run
+// failures are reported in Report.Outcomes. A cancelled ctx is not an
+// error: the report carries the partial results.
+func Run(ctx context.Context, specs []Spec, fn RunFunc, opts Options) (*Report, error) {
+	if opts.Jobs <= 0 {
+		opts.Jobs = runtime.GOMAXPROCS(0)
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 1
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 100 * time.Millisecond
+	}
+	if opts.sleep == nil {
+		opts.sleep = func(ctx context.Context, d time.Duration) {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+			case <-t.C:
+			}
+		}
+	}
+
+	rep := &Report{
+		Outcomes:     make([]Outcome, len(specs)),
+		ErrorsByKind: map[string]int{},
+	}
+
+	// Journal replay and (re)open.
+	var done map[string]record
+	var journal *journalWriter
+	if opts.JournalPath != "" {
+		var err error
+		if opts.Resume {
+			done, err = replayJournal(opts.JournalPath, opts.logf)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: resume: %w", err)
+			}
+		}
+		journal, err = openJournal(opts.JournalPath, opts.Resume)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: journal: %w", err)
+		}
+		defer journal.Close()
+	}
+
+	// Satisfy journaled runs, queue the rest.
+	queue := make(chan int, len(specs))
+	for i, sp := range specs {
+		if rec, ok := done[sp.Key()]; ok && rec.Status == statusDone {
+			rep.Outcomes[i] = Outcome{
+				Spec:     sp,
+				Result:   rec.Result,
+				Attempts: rec.Attempts,
+				Elapsed:  time.Duration(rec.ElapsedMS) * time.Millisecond,
+				Resumed:  true,
+			}
+			continue
+		}
+		queue <- i
+	}
+	pending := len(queue)
+	close(queue)
+	if pending < len(specs) {
+		opts.logf("campaign: resume skips %d journaled-complete runs\n", len(specs)-pending)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				rep.Outcomes[i] = execute(ctx, specs[i], fn, opts, journal)
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, o := range rep.Outcomes {
+		switch {
+		case o.Resumed:
+			rep.Resumed++
+			rep.Completed++
+		case o.Err == nil:
+			rep.Completed++
+		case errors.Is(o.Err, pgsserrors.ErrInterrupted):
+			rep.Interrupted++
+			rep.ErrorsByKind[o.ErrKind]++
+		default:
+			rep.Failed++
+			rep.ErrorsByKind[o.ErrKind]++
+		}
+	}
+	return rep, nil
+}
+
+// execute drives one spec to a terminal outcome: attempts, retries,
+// classification, journaling.
+func execute(ctx context.Context, sp Spec, fn RunFunc, opts Options, journal *journalWriter) Outcome {
+	out := Outcome{Spec: sp}
+	start := time.Now()
+	for {
+		out.Attempts++
+		if err := ctx.Err(); err != nil {
+			out.Err = fmt.Errorf("%w before attempt %d: %v", pgsserrors.ErrInterrupted, out.Attempts, err)
+			break
+		}
+		res, err := attempt(ctx, sp, fn, opts.Timeout)
+		if err == nil {
+			out.Result = res
+			out.Err = nil // a successful retry clears earlier attempts' errors
+			break
+		}
+		err = classify(ctx, err, opts.Timeout)
+		out.Err = err
+		if out.Attempts >= opts.MaxAttempts || !pgsserrors.Retryable(err) {
+			break
+		}
+		delay := opts.Backoff << (out.Attempts - 1)
+		delay += time.Duration(rand.Int63n(int64(delay)/2 + 1)) // up to +50% jitter
+		opts.logf("campaign: %s attempt %d failed (%s), retrying in %v: %v\n",
+			sp, out.Attempts, pgsserrors.Kind(err), delay, err)
+		opts.sleep(ctx, delay)
+	}
+	out.Elapsed = time.Since(start)
+	out.ErrKind = pgsserrors.Kind(out.Err)
+
+	// Journal every terminal outcome except interruptions: an interrupted
+	// run must re-run on resume, so recording it would only bloat the
+	// journal.
+	if journal != nil && !errors.Is(out.Err, pgsserrors.ErrInterrupted) {
+		if err := journal.append(newRecord(out)); err != nil {
+			opts.logf("campaign: journal write failed for %s: %v\n", sp, err)
+		}
+	}
+	if out.Err != nil {
+		opts.logf("campaign: %s failed after %d attempt(s): %v\n", sp, out.Attempts, out.Err)
+	}
+	return out
+}
+
+// attempt runs fn once under the per-run budget with panic recovery.
+func attempt(parent context.Context, sp Spec, fn RunFunc, timeout time.Duration) (res sampling.Result, err error) {
+	ctx := parent
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(parent, timeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v\n%s", pgsserrors.ErrRunPanicked, r, debug.Stack())
+		}
+	}()
+	return fn(ctx, sp)
+}
+
+// classify maps an attempt error onto the taxonomy when the run function
+// surfaced a bare context error: campaign-level cancellation becomes
+// ErrInterrupted, a per-run deadline becomes ErrBudgetExceeded. Errors the
+// run already classified pass through untouched.
+func classify(parent context.Context, err error, timeout time.Duration) error {
+	if pgsserrors.Kind(err) != "other" {
+		// Already classified — but a budget error caused by campaign
+		// cancellation (the run saw its context die and reported a budget
+		// abort) must count as interrupted, not failed.
+		if parent.Err() != nil && errors.Is(err, pgsserrors.ErrBudgetExceeded) {
+			return fmt.Errorf("%w: %v", pgsserrors.ErrInterrupted, err)
+		}
+		return err
+	}
+	switch {
+	case parent.Err() != nil:
+		return fmt.Errorf("%w: %v", pgsserrors.ErrInterrupted, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w (timeout %v): %v", pgsserrors.ErrBudgetExceeded, timeout, err)
+	default:
+		return err
+	}
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ { // insertion sort; the map is tiny
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

@@ -1,0 +1,347 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pgss/internal/pgsserrors"
+	"pgss/internal/sampling"
+)
+
+func testSpecs(n int) []Spec {
+	specs := make([]Spec, n)
+	for i := range specs {
+		specs[i] = Spec{Benchmark: fmt.Sprintf("bench%d", i), Technique: "PGSS", Seed: 1}
+	}
+	return specs
+}
+
+// noSleep makes retry backoff instantaneous in tests.
+func noSleep(opts *Options) { opts.sleep = func(context.Context, time.Duration) {} }
+
+func okRun(ipc float64) RunFunc {
+	return func(ctx context.Context, sp Spec) (sampling.Result, error) {
+		return sampling.Result{Benchmark: sp.Benchmark, EstimatedIPC: ipc}, nil
+	}
+}
+
+func TestRunAllSucceed(t *testing.T) {
+	specs := testSpecs(8)
+	rep, err := Run(context.Background(), specs, okRun(1.5), Options{Jobs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 8 || rep.Failed != 0 || rep.Resumed != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	for i, o := range rep.Outcomes {
+		if o.Spec != specs[i] {
+			t.Errorf("outcome %d out of order: %v", i, o.Spec)
+		}
+		if o.Err != nil || o.Result.EstimatedIPC != 1.5 || o.Attempts != 1 {
+			t.Errorf("outcome %d: %+v", i, o)
+		}
+	}
+}
+
+func TestRetryThenSucceed(t *testing.T) {
+	var calls atomic.Int64
+	flaky := func(ctx context.Context, sp Spec) (sampling.Result, error) {
+		if calls.Add(1) <= 2 {
+			return sampling.Result{}, pgsserrors.Transient(errors.New("spurious infrastructure failure"))
+		}
+		return sampling.Result{EstimatedIPC: 2}, nil
+	}
+	opts := Options{Jobs: 1, MaxAttempts: 3}
+	noSleep(&opts)
+	rep, err := Run(context.Background(), testSpecs(1), flaky, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := rep.Outcomes[0]
+	if o.Err != nil || o.Attempts != 3 || o.Result.EstimatedIPC != 2 {
+		t.Fatalf("outcome: %+v", o)
+	}
+}
+
+func TestNonRetryableFailsFast(t *testing.T) {
+	var calls atomic.Int64
+	bad := func(ctx context.Context, sp Spec) (sampling.Result, error) {
+		calls.Add(1)
+		return sampling.Result{}, pgsserrors.Invalidf("bad config")
+	}
+	opts := Options{Jobs: 1, MaxAttempts: 5}
+	noSleep(&opts)
+	rep, err := Run(context.Background(), testSpecs(1), bad, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("non-retryable error was retried: %d calls", calls.Load())
+	}
+	if rep.Failed != 1 || rep.Outcomes[0].ErrKind != "invalid-config" {
+		t.Errorf("report: %+v", rep)
+	}
+}
+
+// TestPanicInWorkerRecovered: one run panics; it must surface as a
+// structured per-run error while every other run still completes.
+func TestPanicInWorkerRecovered(t *testing.T) {
+	fn := func(ctx context.Context, sp Spec) (sampling.Result, error) {
+		if sp.Benchmark == "bench3" {
+			panic("index out of range [boom]")
+		}
+		return sampling.Result{EstimatedIPC: 1}, nil
+	}
+	rep, err := Run(context.Background(), testSpecs(6), fn, Options{Jobs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 5 || rep.Failed != 1 {
+		t.Fatalf("report: completed %d failed %d", rep.Completed, rep.Failed)
+	}
+	o := rep.Outcomes[3]
+	if !errors.Is(o.Err, pgsserrors.ErrRunPanicked) || o.ErrKind != "run-panicked" {
+		t.Errorf("panic outcome: %+v", o)
+	}
+	if !strings.Contains(o.Err.Error(), "boom") {
+		t.Errorf("panic value lost: %v", o.Err)
+	}
+	if rep.ErrorsByKind["run-panicked"] != 1 {
+		t.Errorf("errors by kind: %v", rep.ErrorsByKind)
+	}
+}
+
+func TestTimeoutClassifiedAsBudget(t *testing.T) {
+	slow := func(ctx context.Context, sp Spec) (sampling.Result, error) {
+		<-ctx.Done()
+		return sampling.Result{}, ctx.Err()
+	}
+	rep, err := Run(context.Background(), testSpecs(1), slow,
+		Options{Jobs: 1, Timeout: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := rep.Outcomes[0]
+	if !errors.Is(o.Err, pgsserrors.ErrBudgetExceeded) || o.ErrKind != "budget-exceeded" {
+		t.Errorf("timeout outcome: %+v err=%v", o, o.Err)
+	}
+}
+
+func TestResumeSkipsJournaledRuns(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "campaign.jsonl")
+	specs := testSpecs(5)
+
+	rep, err := Run(context.Background(), specs, okRun(1.25),
+		Options{Jobs: 2, JournalPath: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 5 {
+		t.Fatalf("first pass: %+v", rep)
+	}
+
+	var calls atomic.Int64
+	counting := func(ctx context.Context, sp Spec) (sampling.Result, error) {
+		calls.Add(1)
+		return sampling.Result{}, nil
+	}
+	rep, err = Run(context.Background(), specs, counting,
+		Options{Jobs: 2, JournalPath: journal, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 0 {
+		t.Errorf("resume re-ran %d journaled runs", calls.Load())
+	}
+	if rep.Resumed != 5 || rep.Completed != 5 {
+		t.Errorf("resume report: %+v", rep)
+	}
+	if rep.Outcomes[2].Result.EstimatedIPC != 1.25 {
+		t.Errorf("resumed result lost: %+v", rep.Outcomes[2])
+	}
+}
+
+// TestResumeAfterSimulatedKill: a campaign killed mid-write leaves a
+// journal with some complete records and a torn final line. Resume must
+// re-run exactly the unjournaled (and torn) runs.
+func TestResumeAfterSimulatedKill(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "campaign.jsonl")
+	specs := testSpecs(5)
+
+	// Simulate the kill: journal holds specs[0] and specs[1] done, then a
+	// record for specs[2] torn mid-line.
+	w, err := openJournal(journal, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := w.append(newRecord(Outcome{
+			Spec:     specs[i],
+			Result:   sampling.Result{EstimatedIPC: 3},
+			Attempts: 1,
+		})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	f, err := os.OpenFile(journal, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(f, `{"key":%q,"spec":{"benchmark":"bench2"},"status":"do`, specs[2].Key())
+	f.Close()
+
+	var mu sync.Mutex
+	ran := map[string]bool{}
+	fn := func(ctx context.Context, sp Spec) (sampling.Result, error) {
+		mu.Lock()
+		ran[sp.Benchmark] = true
+		mu.Unlock()
+		return sampling.Result{EstimatedIPC: 1}, nil
+	}
+	rep, err := Run(context.Background(), specs, fn,
+		Options{Jobs: 2, JournalPath: journal, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resumed != 2 || rep.Completed != 5 {
+		t.Fatalf("report: %+v", rep)
+	}
+	for _, b := range []string{"bench0", "bench1"} {
+		if ran[b] {
+			t.Errorf("journaled run %s re-executed", b)
+		}
+	}
+	for _, b := range []string{"bench2", "bench3", "bench4"} {
+		if !ran[b] {
+			t.Errorf("unjournaled run %s skipped", b)
+		}
+	}
+
+	// A second resume now finds everything journaled.
+	rep, err = Run(context.Background(), specs, fn,
+		Options{Jobs: 2, JournalPath: journal, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resumed != 5 {
+		t.Errorf("second resume: %+v", rep)
+	}
+}
+
+// TestFailedRunsRerunOnResume: only status=done skips; a journaled failure
+// gets another chance on the next invocation.
+func TestFailedRunsRerunOnResume(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "campaign.jsonl")
+	specs := testSpecs(2)
+
+	fail := func(ctx context.Context, sp Spec) (sampling.Result, error) {
+		if sp.Benchmark == "bench0" {
+			return sampling.Result{}, pgsserrors.Invalidf("broken")
+		}
+		return sampling.Result{}, nil
+	}
+	if _, err := Run(context.Background(), specs, fail,
+		Options{Jobs: 1, JournalPath: journal}); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Run(context.Background(), specs, okRun(1),
+		Options{Jobs: 1, JournalPath: journal, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resumed != 1 || rep.Completed != 2 || rep.Failed != 0 {
+		t.Errorf("report: %+v", rep)
+	}
+	if !rep.Outcomes[1].Resumed || rep.Outcomes[0].Resumed {
+		t.Errorf("wrong run resumed: %+v", rep.Outcomes)
+	}
+}
+
+// TestCancelDrainsAndPreservesPartialResults: cancelling the campaign
+// context must stop promptly, keep finished results, classify the rest as
+// interrupted, and leave interrupted runs out of the journal so resume
+// re-runs them.
+func TestCancelDrainsAndPreservesPartialResults(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "campaign.jsonl")
+	specs := testSpecs(6)
+	ctx, cancel := context.WithCancel(context.Background())
+
+	first := make(chan struct{})
+	var once sync.Once
+	fn := func(c context.Context, sp Spec) (sampling.Result, error) {
+		if sp.Benchmark == "bench0" {
+			once.Do(func() { close(first) })
+			return sampling.Result{EstimatedIPC: 1}, nil
+		}
+		<-c.Done() // every other run blocks until cancellation
+		return sampling.Result{}, c.Err()
+	}
+	go func() {
+		<-first
+		cancel()
+	}()
+	rep, err := Run(ctx, specs, fn, Options{Jobs: 2, JournalPath: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed < 1 {
+		t.Error("finished result lost on cancellation")
+	}
+	if rep.Interrupted == 0 || rep.Completed+rep.Interrupted+rep.Failed != 6 {
+		t.Errorf("report: %+v", rep)
+	}
+
+	// Only completed runs were journaled; resume re-runs the interrupted.
+	recs, err := replayJournal(journal, func(string, ...any) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != rep.Completed {
+		t.Errorf("journal has %d records, want %d completed", len(recs), rep.Completed)
+	}
+}
+
+func TestReportSummary(t *testing.T) {
+	rep := &Report{
+		Outcomes:     make([]Outcome, 4),
+		Completed:    2,
+		Failed:       2,
+		ErrorsByKind: map[string]int{"run-panicked": 1, "budget-exceeded": 1},
+	}
+	s := rep.Summary()
+	for _, want := range []string{"2/4", "run-panicked=1", "budget-exceeded=1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	specs := Grid([]string{"a", "b"}, []string{"X"}, []int64{1, 2, 3})
+	if len(specs) != 6 {
+		t.Fatalf("grid size %d", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, sp := range specs {
+		if seen[sp.Key()] {
+			t.Errorf("duplicate key %s", sp.Key())
+		}
+		seen[sp.Key()] = true
+	}
+	if got := Grid([]string{"a"}, []string{"X"}, nil); len(got) != 1 || got[0].Seed != 0 {
+		t.Errorf("empty seeds: %+v", got)
+	}
+}

@@ -1,0 +1,191 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"pgss/internal/sampling"
+)
+
+const (
+	statusDone   = "done"
+	statusFailed = "failed"
+)
+
+// record is one JSONL journal line: the terminal state of a run.
+type record struct {
+	Key       string          `json:"key"`
+	Spec      Spec            `json:"spec"`
+	Status    string          `json:"status"` // "done" | "failed"
+	Attempts  int             `json:"attempts"`
+	ElapsedMS int64           `json:"elapsed_ms"`
+	Error     string          `json:"error,omitempty"`
+	ErrKind   string          `json:"error_kind,omitempty"`
+	Result    sampling.Result `json:"result,omitempty"`
+}
+
+func newRecord(o Outcome) record {
+	rec := record{
+		Key:       o.Spec.Key(),
+		Spec:      o.Spec,
+		Attempts:  o.Attempts,
+		ElapsedMS: o.Elapsed.Milliseconds(),
+	}
+	if o.Err == nil {
+		rec.Status = statusDone
+		rec.Result = o.Result
+	} else {
+		rec.Status = statusFailed
+		rec.Error = o.Err.Error()
+		rec.ErrKind = o.ErrKind
+	}
+	return rec
+}
+
+// replayJournal reads an existing journal, tolerating a missing file and a
+// truncated final line (the crash that motivated the resume). The last
+// record per key wins, so a run that failed and later succeeded counts as
+// done.
+func replayJournal(path string, logf func(string, ...any)) (map[string]record, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	out := map[string]record{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(b, &rec); err != nil {
+			// A torn tail from a kill mid-write is expected; anything
+			// after it cannot be trusted either, so stop here and let
+			// those runs re-execute.
+			logf("campaign: journal %s: ignoring malformed line %d and beyond: %v\n", path, line, err)
+			break
+		}
+		if rec.Key == "" {
+			rec.Key = rec.Spec.Key()
+		}
+		out[rec.Key] = rec
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("read %s: %w", path, err)
+	}
+	return out, nil
+}
+
+// truncateTornTail trims a journal back to its last newline-terminated
+// record, discarding a final line torn by a mid-write kill.
+func truncateTornTail(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil
+	}
+	one := make([]byte, 1)
+	if _, err := f.ReadAt(one, size-1); err != nil {
+		return err
+	}
+	if one[0] == '\n' {
+		return nil
+	}
+	const chunk = 64 * 1024
+	end := size
+	for end > 0 {
+		n := int64(chunk)
+		if n > end {
+			n = end
+		}
+		buf := make([]byte, n)
+		if _, err := f.ReadAt(buf, end-n); err != nil {
+			return err
+		}
+		for i := len(buf) - 1; i >= 0; i-- {
+			if buf[i] == '\n' {
+				return f.Truncate(end - n + int64(i) + 1)
+			}
+		}
+		end -= n
+	}
+	return f.Truncate(0)
+}
+
+// journalWriter appends whole JSONL lines under a mutex so records from
+// concurrent workers never interleave.
+type journalWriter struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func openJournal(path string, resume bool) (*journalWriter, error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	flags := os.O_CREATE | os.O_WRONLY
+	if resume {
+		// A kill mid-write leaves a torn final line; appending straight
+		// after it would weld the next record onto the torn one. Drop the
+		// tail back to the last complete line first.
+		if err := truncateTornTail(path); err != nil {
+			return nil, err
+		}
+		flags |= os.O_APPEND
+	} else {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &journalWriter{f: f}, nil
+}
+
+func (w *journalWriter) append(rec record) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Write(b); err != nil {
+		return err
+	}
+	// Runs are minutes long; an fsync per record is cheap insurance that a
+	// kill -9 loses at most the in-flight line.
+	return w.f.Sync()
+}
+
+func (w *journalWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}

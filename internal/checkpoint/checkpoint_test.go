@@ -73,6 +73,30 @@ func TestRestoreGeometryMismatch(t *testing.T) {
 	}
 }
 
+// TestRestoreConfigMismatch: restoring into a core built for the same
+// program but a different microarchitectural configuration must fail with
+// an error, not silently corrupt the simulation.
+func TestRestoreConfigMismatch(t *testing.T) {
+	c1, prog := newCore(t, "197.parser", 200_000)
+	var r cpu.Retired
+	for i := 0; i < 10_000; i++ {
+		if !c1.StepDetailed(&r) {
+			t.Fatal("program too short")
+		}
+	}
+	ck := Capture(c1)
+
+	cfg := cpu.DefaultCoreConfig()
+	cfg.Hierarchy.L1D.SizeBytes /= 2 // different L1D geometry
+	c2, err := cpu.NewCore(cpu.MustNewMachine(prog), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Restore(c2); err == nil {
+		t.Error("restore into mismatched cache configuration accepted")
+	}
+}
+
 func TestLibraryRecordAndNearest(t *testing.T) {
 	c, _ := newCore(t, "197.parser", 500_000)
 	lib, err := Record(c, 100_000, 0)
@@ -143,7 +167,10 @@ func TestRandomOrderSamplesMatchProfile(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ref := prof.IPCWindow(pos+3000, 1000)
+		ref, err := prof.IPCWindow(pos+3000, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
 		rel := math.Abs(ipc-ref) / ref
 		if rel > maxRel {
 			maxRel = rel

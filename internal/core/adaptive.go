@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"pgss/internal/pgsserrors"
 	"pgss/internal/phase"
 	"pgss/internal/sampling"
 	"pgss/internal/stats"
@@ -69,13 +70,13 @@ func (c AdaptiveConfig) Validate() error {
 		return err
 	}
 	if c.EpochWindows <= 0 {
-		return fmt.Errorf("pgss: adaptive epoch %d", c.EpochWindows)
+		return pgsserrors.Invalidf("pgss: adaptive epoch %d", c.EpochWindows)
 	}
 	if c.ThresholdStep <= 1 {
-		return fmt.Errorf("pgss: adaptive threshold step %g must exceed 1", c.ThresholdStep)
+		return pgsserrors.Invalidf("pgss: adaptive threshold step %g must exceed 1", c.ThresholdStep)
 	}
 	if c.ThresholdMin <= 0 || c.ThresholdMax > 0.5 || c.ThresholdMin > c.ThresholdMax {
-		return fmt.Errorf("pgss: adaptive threshold bounds [%g, %g]", c.ThresholdMin, c.ThresholdMax)
+		return pgsserrors.Invalidf("pgss: adaptive threshold bounds [%g, %g]", c.ThresholdMin, c.ThresholdMax)
 	}
 	return nil
 }
@@ -248,6 +249,9 @@ func RunAdaptive(t sampling.Target, cfg AdaptiveConfig) (sampling.Result, Adapti
 		if epochWindows >= cfg.EpochWindows {
 			adjust()
 		}
+	}
+	if err := t.Err(); err != nil {
+		return res, ast, err
 	}
 	table.FinishRun()
 	retire(table)

@@ -22,9 +22,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"pgss/internal/pgsserrors"
 	"pgss/internal/phase"
 	"pgss/internal/sampling"
 	"pgss/internal/stats"
@@ -100,19 +102,19 @@ func (c Config) String() string {
 // Validate checks the configuration.
 func (c Config) Validate() error {
 	if c.FFOps == 0 || c.SampleOps == 0 {
-		return fmt.Errorf("pgss: zero FF period or sample size in %+v", c)
+		return pgsserrors.Invalidf("pgss: zero FF period or sample size in %+v", c)
 	}
 	if c.WarmOps+c.SampleOps > c.FFOps {
-		return fmt.Errorf("pgss: warm+sample %d exceeds FF period %d", c.WarmOps+c.SampleOps, c.FFOps)
+		return pgsserrors.Invalidf("pgss: warm+sample %d exceeds FF period %d", c.WarmOps+c.SampleOps, c.FFOps)
 	}
 	if c.ThresholdPi < 0 || c.ThresholdPi > 0.5 {
-		return fmt.Errorf("pgss: threshold %gπ outside [0, 0.5π]", c.ThresholdPi)
+		return pgsserrors.Invalidf("pgss: threshold %gπ outside [0, 0.5π]", c.ThresholdPi)
 	}
 	if c.Eps <= 0 && !c.DisableConfidence {
-		return fmt.Errorf("pgss: nonpositive eps %g", c.Eps)
+		return pgsserrors.Invalidf("pgss: nonpositive eps %g", c.Eps)
 	}
 	if c.MinSamples == 0 {
-		return fmt.Errorf("pgss: zero MinSamples")
+		return pgsserrors.Invalidf("pgss: zero MinSamples")
 	}
 	return nil
 }
@@ -168,6 +170,14 @@ func recordSample(p *phase.Phase, cpi float64, pos uint64, cfg Config, res *samp
 
 // Run executes PGSS-Sim over the target.
 func Run(t sampling.Target, cfg Config) (sampling.Result, Stats, error) {
+	return RunContext(context.Background(), t, cfg)
+}
+
+// RunContext executes PGSS-Sim over the target with cooperative
+// cancellation: the context is polled once per fast-forward window, and a
+// cancelled or expired context aborts the run with an
+// ErrBudgetExceeded-classed error carrying the partial cost ledger.
+func RunContext(ctx context.Context, t sampling.Target, cfg Config) (sampling.Result, Stats, error) {
 	if err := cfg.Validate(); err != nil {
 		return sampling.Result{}, Stats{}, err
 	}
@@ -196,6 +206,10 @@ func Run(t sampling.Target, cfg Config) (sampling.Result, Stats, error) {
 	var scheduled *phase.Phase
 	windowIdx := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return res, st, fmt.Errorf("pgss: %s cancelled after %d windows: %w (%w)",
+				res.Benchmark, windowIdx, pgsserrors.ErrBudgetExceeded, err)
+		}
 		var warm, sample uint64
 		if scheduled != nil {
 			warm, sample = cfg.WarmOps, cfg.SampleOps
@@ -249,6 +263,9 @@ func Run(t sampling.Target, cfg Config) (sampling.Result, Stats, error) {
 		} else {
 			st.SamplesSkipped++
 		}
+	}
+	if err := t.Err(); err != nil {
+		return res, st, err
 	}
 	table.FinishRun()
 

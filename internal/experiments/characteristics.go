@@ -23,8 +23,14 @@ func Characteristics(s *Suite) (*Report, error) {
 	t := r.AddTable(fmt.Sprintf("per-benchmark characteristics (interval = %d ops, threshold .05π)", gran),
 		"benchmark", "ops", "IPC", "σ(IPC)", "σ/IPC", "phases", "transitions", "mean_run(ops)")
 	for _, p := range profiles {
-		sigma := p.IntervalStdDev(gran)
-		bbvs := p.BBVSeries(gran)
+		sigma, err := p.IntervalStdDev(gran)
+		if err != nil {
+			return nil, err
+		}
+		bbvs, err := p.BBVSeries(gran)
+		if err != nil {
+			return nil, err
+		}
 		n := p.NumFullWindows(gran)
 		if len(bbvs) < n {
 			n = len(bbvs)

@@ -2,9 +2,16 @@ package experiments
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+
+	"pgss/internal/pgsserrors"
+	"pgss/internal/profile"
 )
 
 // testSuite builds a small, fast suite shared by the figure tests.
@@ -57,6 +64,90 @@ func TestSuiteDiskCache(t *testing.T) {
 	}
 	if p1.TotalCycles != p2.TotalCycles || p1.TotalOps != p2.TotalOps {
 		t.Error("disk cache round trip changed the profile")
+	}
+}
+
+// TestSuiteCacheSelfHeals: a corrupt profile under CacheDir must not fail
+// the run — the suite logs, deletes the bad file and re-records.
+func TestSuiteCacheSelfHeals(t *testing.T) {
+	dir := t.TempDir()
+	mk := func() *Suite {
+		return MustNewSuite(Options{
+			Scale: 10, TotalOps: 2_000_000, CacheDir: dir, HashSeed: 42, Quiet: true,
+		})
+	}
+	s1 := mk()
+	p1, err := s1.Profile("177.mesa")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the single cached profile in place (simulates a truncated
+	// write or schema drift).
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 {
+		t.Fatalf("expected one cached profile, found %d", len(files))
+	}
+	path := filepath.Join(dir, files[0].Name())
+	if err := os.WriteFile(path, []byte("garbage, not a gob stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mk()
+	p2, err := s2.Profile("177.mesa")
+	if err != nil {
+		t.Fatalf("corrupt cache was fatal: %v", err)
+	}
+	if p2.TotalOps != p1.TotalOps || p2.TotalCycles != p1.TotalCycles {
+		t.Error("re-recorded profile differs from the original")
+	}
+
+	// The bad file was replaced with a loadable one.
+	s3 := mk()
+	if _, err := s3.Profile("177.mesa"); err != nil {
+		t.Fatalf("healed cache still unusable: %v", err)
+	}
+}
+
+// TestSuiteProfileConcurrentSingleflight: concurrent requests for the same
+// missing profile must share one recording.
+func TestSuiteProfileConcurrentSingleflight(t *testing.T) {
+	s := MustNewSuite(Options{Scale: 10, TotalOps: 1_000_000, HashSeed: 42, Quiet: true})
+	const n = 8
+	var wg sync.WaitGroup
+	got := make([]*profile.Profile, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = s.Profile("177.mesa")
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if got[i] != got[0] {
+			t.Error("concurrent callers received different profile instances")
+		}
+	}
+}
+
+// TestSuiteRecordCancelled: a cancelled suite context stops recording with
+// a budget-classed error instead of completing the pass.
+func TestSuiteRecordCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := MustNewSuite(Options{
+		Scale: 10, TotalOps: 2_000_000, HashSeed: 42, Quiet: true, Context: ctx,
+	})
+	if _, err := s.Profile("177.mesa"); !errors.Is(err, pgsserrors.ErrBudgetExceeded) {
+		t.Errorf("cancelled recording: got %v, want ErrBudgetExceeded", err)
 	}
 }
 

@@ -22,12 +22,21 @@ func Fig10(s *Suite) (*Report, error) {
 		return nil, err
 	}
 	gran := analysisGran(s)
-	sigma := p.IntervalStdDev(gran)
+	sigma, err := p.IntervalStdDev(gran)
+	if err != nil {
+		return nil, err
+	}
 	r := NewReport("fig10", fmt.Sprintf("effect of threshold on phase characteristics of %s", bench))
 	r.Metrics["benchmark_sigma"] = sigma
 
-	ipcs := p.IPCSeries(gran)
-	bbvs := p.BBVSeries(gran)
+	ipcs, err := p.IPCSeries(gran)
+	if err != nil {
+		return nil, err
+	}
+	bbvs, err := p.BBVSeries(gran)
+	if err != nil {
+		return nil, err
+	}
 	n := p.NumFullWindows(gran)
 	if len(ipcs) < n {
 		n = len(ipcs)

@@ -38,7 +38,10 @@ func Fig2(s *Suite) (*Report, error) {
 		if g == 0 || g > window {
 			continue
 		}
-		full := p.IPCSeries(g)
+		full, err := p.IPCSeries(g)
+		if err != nil {
+			return nil, err
+		}
 		n := int(window / g)
 		if n > len(full) {
 			n = len(full)

@@ -22,7 +22,10 @@ func Fig3(s *Suite) (*Report, error) {
 	if gran == 0 {
 		gran = p.BBVOps
 	}
-	series := p.IPCSeries(gran)
+	series, err := p.IPCSeries(gran)
+	if err != nil {
+		return nil, err
+	}
 
 	t := r.AddTable("IPC vs ops", "ops_completed", "ipc")
 	step := 1

@@ -5,15 +5,18 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 	"sort"
+	"sync"
 
 	"pgss/internal/bbv"
+	"pgss/internal/campaign"
 	"pgss/internal/cpu"
 	"pgss/internal/profile"
+	"pgss/internal/sampling"
 	"pgss/internal/workload"
 )
 
@@ -38,6 +41,11 @@ type Options struct {
 	HashSeed int64
 	// Quiet suppresses progress output to stderr.
 	Quiet bool
+	// Jobs bounds parallel profile recording (0 = GOMAXPROCS).
+	Jobs int
+	// Context, when set, cancels in-flight recording and simulation
+	// cooperatively (SIGINT handling in the CLIs).
+	Context context.Context
 }
 
 // DefaultOptions is the standard evaluation configuration.
@@ -45,11 +53,25 @@ func DefaultOptions() Options {
 	return Options{Scale: 10, SizeFactor: 1.0, HashSeed: 42}
 }
 
-// Suite builds, caches and hands out benchmark profiles.
+// Suite builds, caches and hands out benchmark profiles. All methods are
+// safe for concurrent use: campaign workers may request profiles in
+// parallel, and a profile missing from the cache records exactly once
+// however many workers ask for it.
 type Suite struct {
-	opts     Options
-	hash     *bbv.Hash
-	profiles map[string]*profile.Profile
+	opts Options
+	hash *bbv.Hash
+
+	mu        sync.Mutex
+	profiles  map[string]*profile.Profile
+	recording map[string]*recordJob
+}
+
+// recordJob is the in-flight marker of one benchmark being recorded
+// (singleflight: later requesters wait on done instead of re-recording).
+type recordJob struct {
+	done chan struct{}
+	p    *profile.Profile
+	err  error
 }
 
 // NewSuite builds a Suite.
@@ -64,7 +86,12 @@ func NewSuite(opts Options) (*Suite, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Suite{opts: opts, hash: hash, profiles: map[string]*profile.Profile{}}, nil
+	return &Suite{
+		opts:      opts,
+		hash:      hash,
+		profiles:  map[string]*profile.Profile{},
+		recording: map[string]*recordJob{},
+	}, nil
 }
 
 // MustNewSuite is NewSuite that panics on error.
@@ -106,19 +133,42 @@ func (s *Suite) logf(format string, args ...any) {
 	}
 }
 
+// ctx returns the suite's cancellation context.
+func (s *Suite) ctx() context.Context {
+	if s.opts.Context != nil {
+		return s.opts.Context
+	}
+	return context.Background()
+}
+
 // Profile returns the detailed profile of the named benchmark, recording
 // it (one full detailed pass) on first use and caching in memory and, when
-// configured, on disk.
+// configured, on disk. Concurrent callers asking for the same missing
+// benchmark share one recording.
 func (s *Suite) Profile(name string) (*profile.Profile, error) {
+	s.mu.Lock()
 	if p, ok := s.profiles[name]; ok {
+		s.mu.Unlock()
 		return p, nil
 	}
-	p, err := s.recordOne(name)
-	if err != nil {
-		return nil, err
+	if job, ok := s.recording[name]; ok {
+		s.mu.Unlock()
+		<-job.done
+		return job.p, job.err
 	}
-	s.profiles[name] = p
-	return p, nil
+	job := &recordJob{done: make(chan struct{})}
+	s.recording[name] = job
+	s.mu.Unlock()
+
+	job.p, job.err = s.recordOne(name)
+	s.mu.Lock()
+	if job.err == nil {
+		s.profiles[name] = job.p
+	}
+	delete(s.recording, name)
+	s.mu.Unlock()
+	close(job.done)
+	return job.p, job.err
 }
 
 // PaperTenNames returns the ten evaluation benchmark names in figure
@@ -136,12 +186,14 @@ func PaperTenNames() []string {
 // any missing ones in parallel (one independent simulator per benchmark).
 func (s *Suite) PaperTen() ([]*profile.Profile, error) {
 	names := PaperTenNames()
+	s.mu.Lock()
 	var missing []string
 	for _, n := range names {
 		if _, ok := s.profiles[n]; !ok {
 			missing = append(missing, n)
 		}
 	}
+	s.mu.Unlock()
 	if len(missing) > 1 {
 		if err := s.recordParallel(missing); err != nil {
 			return nil, err
@@ -158,57 +210,51 @@ func (s *Suite) PaperTen() ([]*profile.Profile, error) {
 	return out, nil
 }
 
-// recordParallel records several benchmarks concurrently. Each worker owns
-// an independent simulator; only the result map is shared (written from
-// the collecting goroutine only).
+// recordParallel records several benchmarks through the campaign runner:
+// worker-pool parallelism, panic recovery and cancellation for free. A
+// recording campaign keeps no journal — the profile cache on disk already
+// makes finished recordings resumable.
 func (s *Suite) recordParallel(names []string) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(names) {
-		workers = len(names)
+	specs := make([]campaign.Spec, len(names))
+	for i, n := range names {
+		specs[i] = campaign.Spec{Benchmark: n, Technique: "record"}
 	}
-	type item struct {
-		name string
-		p    *profile.Profile
-		err  error
+	fn := func(ctx context.Context, sp campaign.Spec) (sampling.Result, error) {
+		_, err := s.Profile(sp.Benchmark)
+		return sampling.Result{Benchmark: sp.Benchmark}, err
 	}
-	in := make(chan string, len(names))
-	out := make(chan item, len(names))
-	for _, n := range names {
-		in <- n
+	rep, err := campaign.Run(s.ctx(), specs, fn, campaign.Options{
+		Jobs: s.opts.Jobs,
+		Logf: s.logf,
+	})
+	if err != nil {
+		return err
 	}
-	close(in)
-	for w := 0; w < workers; w++ {
-		go func() {
-			for n := range in {
-				p, err := s.recordOne(n)
-				out <- item{name: n, p: p, err: err}
-			}
-		}()
-	}
-	var firstErr error
-	for range names {
-		it := <-out
-		if it.err != nil {
-			if firstErr == nil {
-				firstErr = it.err
-			}
-			continue
-		}
-		s.profiles[it.name] = it.p
-	}
-	return firstErr
+	return rep.FirstError()
 }
 
 // recordOne loads or records one benchmark without touching the shared
-// profile map (parallel-safe).
+// profile map (parallel-safe). A corrupt cache file — truncated write,
+// schema drift inside the gob, bit rot — is not fatal: it is logged,
+// deleted and re-recorded (self-healing cache).
 func (s *Suite) recordOne(name string) (*profile.Profile, error) {
 	spec, err := workload.Get(name)
 	if err != nil {
 		return nil, err
 	}
 	if path := s.cachePath(spec); path != "" {
-		if p, err := profile.Load(path); err == nil {
+		p, err := profile.Load(path)
+		switch {
+		case err == nil:
 			return p, nil
+		case os.IsNotExist(err):
+			// Cold cache: record below.
+		default:
+			s.logf("profile cache %s unusable (%v), deleting and re-recording\n", path, err)
+			if rmErr := os.Remove(path); rmErr != nil && !os.IsNotExist(rmErr) {
+				return nil, fmt.Errorf("experiments: cannot remove corrupt cache %s: %w (%v)",
+					path, rmErr, err)
+			}
 		}
 	}
 	s.logf("recording %s (%d ops)...\n", name, s.targetOps(spec))
@@ -224,7 +270,7 @@ func (s *Suite) recordOne(name string) (*profile.Profile, error) {
 	if err != nil {
 		return nil, err
 	}
-	p, err := profile.Record(core, s.hash, profile.DefaultConfig())
+	p, err := profile.RecordContext(s.ctx(), core, s.hash, profile.DefaultConfig())
 	if err != nil {
 		return nil, err
 	}

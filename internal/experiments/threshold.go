@@ -18,9 +18,15 @@ type changePoint struct {
 
 // changeSeries computes the consecutive-sample changes of one benchmark at
 // granularity gran (the paper uses 100k-op samples for Figs 7–9).
-func changeSeries(p *profile.Profile, gran uint64) []changePoint {
-	ipcs := p.IPCSeries(gran)
-	bbvs := p.BBVSeries(gran)
+func changeSeries(p *profile.Profile, gran uint64) ([]changePoint, error) {
+	ipcs, err := p.IPCSeries(gran)
+	if err != nil {
+		return nil, err
+	}
+	bbvs, err := p.BBVSeries(gran)
+	if err != nil {
+		return nil, err
+	}
 	n := p.NumFullWindows(gran) // exclude the trailing partial window
 	if len(ipcs) < n {
 		n = len(ipcs)
@@ -28,7 +34,10 @@ func changeSeries(p *profile.Profile, gran uint64) []changePoint {
 	if len(bbvs) < n {
 		n = len(bbvs)
 	}
-	sigma := p.IntervalStdDev(gran)
+	sigma, err := p.IntervalStdDev(gran)
+	if err != nil {
+		return nil, err
+	}
 	if sigma == 0 {
 		sigma = math.Inf(1) // flat benchmark: all IPC changes are 0σ
 	}
@@ -39,7 +48,7 @@ func changeSeries(p *profile.Profile, gran uint64) []changePoint {
 			IPCSigma: math.Abs(ipcs[i]-ipcs[i-1]) / sigma,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // analysisGran is the Fig 7–9 sample size (paper: 100k ops).
@@ -69,7 +78,10 @@ func Fig7(s *Suite) (*Report, error) {
 		grid[y] = make([]float64, xbins)
 	}
 	for _, p := range profiles {
-		pts := changeSeries(p, gran)
+		pts, err := changeSeries(p, gran)
+		if err != nil {
+			return nil, err
+		}
 		if len(pts) == 0 {
 			continue
 		}
@@ -138,14 +150,29 @@ func thresholdSweep() []float64 {
 // sigmaLevels are the IPC-change magnitudes of Figs 8 and 9.
 func sigmaLevels() []float64 { return []float64{0.1, 0.2, 0.3, 0.4, 0.5} }
 
+// changeSeriesAll precomputes the per-benchmark change series once, so the
+// threshold sweeps of Figs 8 and 9 do not recompute them per (th, level)
+// point.
+func changeSeriesAll(profiles []*profile.Profile, gran uint64) ([][]changePoint, error) {
+	out := make([][]changePoint, len(profiles))
+	for i, p := range profiles {
+		pts, err := changeSeries(p, gran)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = pts
+	}
+	return out, nil
+}
+
 // catchRates computes, per benchmark and then averaged, the fraction of
 // IPC changes larger than level·σ that a BBV threshold th detects
 // (Region 2 / (Region 1 + Region 2) of Fig 6).
-func catchRates(profiles []*profile.Profile, gran uint64, th, level float64) float64 {
+func catchRates(series [][]changePoint, th, level float64) float64 {
 	var rates []float64
-	for _, p := range profiles {
+	for _, pts := range series {
 		var caught, total float64
-		for _, pt := range changeSeries(p, gran) {
+		for _, pt := range pts {
 			if pt.IPCSigma > level {
 				total++
 				if pt.BBVAngle > th*math.Pi {
@@ -162,11 +189,11 @@ func catchRates(profiles []*profile.Profile, gran uint64, th, level float64) flo
 
 // falsePositiveRates computes the fraction of detected phase changes whose
 // IPC change is below level·σ (Region 4 / (Region 2 + Region 4)).
-func falsePositiveRates(profiles []*profile.Profile, gran uint64, th, level float64) float64 {
+func falsePositiveRates(series [][]changePoint, th, level float64) float64 {
 	var rates []float64
-	for _, p := range profiles {
+	for _, pts := range series {
 		var falsePos, detected float64
-		for _, pt := range changeSeries(p, gran) {
+		for _, pt := range pts {
 			if pt.BBVAngle > th*math.Pi {
 				detected++
 				if pt.IPCSigma <= level {
@@ -189,6 +216,10 @@ func Fig8(s *Suite) (*Report, error) {
 		return nil, err
 	}
 	gran := analysisGran(s)
+	series, err := changeSeriesAll(profiles, gran)
+	if err != nil {
+		return nil, err
+	}
 	r := NewReport("fig8", "% of IPC changes caught vs BBV threshold")
 
 	levels := sigmaLevels()
@@ -200,12 +231,12 @@ func Fig8(s *Suite) (*Report, error) {
 	for _, th := range thresholdSweep() {
 		row := []string{f2(th)}
 		for _, l := range levels {
-			row = append(row, f2(catchRates(profiles, gran, th, l)))
+			row = append(row, f2(catchRates(series, th, l)))
 		}
 		t.AddRow(row...)
 	}
-	r.Metrics["catch_.05pi_.3sigma_pct"] = catchRates(profiles, gran, 0.05, 0.3)
-	r.Metrics["catch_.25pi_.3sigma_pct"] = catchRates(profiles, gran, 0.25, 0.3)
+	r.Metrics["catch_.05pi_.3sigma_pct"] = catchRates(series, 0.05, 0.3)
+	r.Metrics["catch_.25pi_.3sigma_pct"] = catchRates(series, 0.25, 0.3)
 	r.Notef("catch rate at .05π for >0.3σ changes: %.1f%% (paper: knee in the curve around .05π)",
 		r.Metrics["catch_.05pi_.3sigma_pct"])
 	return r, nil
@@ -219,6 +250,10 @@ func Fig9(s *Suite) (*Report, error) {
 		return nil, err
 	}
 	gran := analysisGran(s)
+	series, err := changeSeriesAll(profiles, gran)
+	if err != nil {
+		return nil, err
+	}
 	r := NewReport("fig9", "% of detected phase changes that are false positives vs threshold")
 
 	levels := sigmaLevels()
@@ -230,12 +265,12 @@ func Fig9(s *Suite) (*Report, error) {
 	for _, th := range thresholdSweep() {
 		row := []string{f2(th)}
 		for _, l := range levels {
-			row = append(row, f2(falsePositiveRates(profiles, gran, th, l)))
+			row = append(row, f2(falsePositiveRates(series, th, l)))
 		}
 		t.AddRow(row...)
 	}
-	r.Metrics["falsepos_.05pi_.3sigma_pct"] = falsePositiveRates(profiles, gran, 0.05, 0.3)
-	r.Metrics["falsepos_.30pi_.3sigma_pct"] = falsePositiveRates(profiles, gran, 0.30, 0.3)
+	r.Metrics["falsepos_.05pi_.3sigma_pct"] = falsePositiveRates(series, 0.05, 0.3)
+	r.Metrics["falsepos_.30pi_.3sigma_pct"] = falsePositiveRates(series, 0.30, 0.3)
 	r.Notef("false positives fall as the threshold rises (paper: set the threshold as high as accuracy allows)")
 	return r, nil
 }

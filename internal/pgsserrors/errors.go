@@ -1,0 +1,118 @@
+// Package pgsserrors defines the structured error taxonomy shared across
+// the simulator, the sampling techniques and the campaign runner.
+//
+// Every user-reachable failure in the library wraps exactly one of the
+// sentinel errors below, so callers — and in particular the fault-tolerant
+// campaign runner in internal/campaign — can classify failures with
+// errors.Is and decide whether a run is worth retrying without parsing
+// message strings. Panics remain only for true programmer invariants
+// (impossible internal states), never for bad user input.
+package pgsserrors
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The taxonomy. Each sentinel names one failure class.
+var (
+	// ErrInvalidConfig marks a configuration rejected by a Validate()
+	// method: zero-valued required fields, out-of-range thresholds, or
+	// warm+sample exceeding a period.
+	ErrInvalidConfig = errors.New("invalid configuration")
+
+	// ErrMisalignedWindow marks a window request that is not a multiple of
+	// the profile's recorded granularity (BBV or fine).
+	ErrMisalignedWindow = errors.New("misaligned window")
+
+	// ErrBudgetExceeded marks a run cancelled by its op or time budget
+	// (context deadline or explicit cap).
+	ErrBudgetExceeded = errors.New("budget exceeded")
+
+	// ErrCacheCorrupt marks a profile cache file that failed to decode or
+	// failed its integrity check. Deleting the file and re-recording heals
+	// it, so the class is retryable.
+	ErrCacheCorrupt = errors.New("cache corrupt")
+
+	// ErrRunPanicked marks a run that panicked inside a campaign worker;
+	// the panic value and stack ride along in the wrapped message.
+	ErrRunPanicked = errors.New("run panicked")
+
+	// ErrInterrupted marks a run cut short by campaign-level cancellation
+	// (SIGINT or parent-context cancel), as opposed to its own budget.
+	ErrInterrupted = errors.New("run interrupted")
+)
+
+// Invalidf wraps ErrInvalidConfig with formatted detail.
+func Invalidf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, prepend(ErrInvalidConfig, args)...)
+}
+
+// Misalignedf wraps ErrMisalignedWindow with formatted detail.
+func Misalignedf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, prepend(ErrMisalignedWindow, args)...)
+}
+
+// Corruptf wraps ErrCacheCorrupt with formatted detail.
+func Corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, prepend(ErrCacheCorrupt, args)...)
+}
+
+func prepend(err error, args []any) []any {
+	return append([]any{err}, args...)
+}
+
+// transient wraps an error explicitly tagged as retryable.
+type transient struct{ err error }
+
+func (t transient) Error() string { return t.err.Error() }
+func (t transient) Unwrap() error { return t.err }
+
+// Transient marks err as retryable regardless of its class (e.g. an
+// injected fault or a resource hiccup a retry may clear). A nil err stays
+// nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return transient{err: err}
+}
+
+// Retryable reports whether a campaign run that failed with err is worth
+// retrying. Corrupt caches heal on re-record and explicitly Transient
+// errors are retryable by definition; invalid configurations, misaligned
+// windows, exceeded budgets, panics and interrupts are deterministic (or
+// terminal) and are not.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var t transient
+	if errors.As(err, &t) {
+		return true
+	}
+	return errors.Is(err, ErrCacheCorrupt)
+}
+
+// Kind returns the taxonomy class name of err for journals and error
+// summaries, or "other" when err wraps no sentinel.
+func Kind(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrInvalidConfig):
+		return "invalid-config"
+	case errors.Is(err, ErrMisalignedWindow):
+		return "misaligned-window"
+	case errors.Is(err, ErrBudgetExceeded):
+		return "budget-exceeded"
+	case errors.Is(err, ErrCacheCorrupt):
+		return "cache-corrupt"
+	case errors.Is(err, ErrRunPanicked):
+		return "run-panicked"
+	case errors.Is(err, ErrInterrupted):
+		return "interrupted"
+	default:
+		return "other"
+	}
+}

@@ -1,0 +1,61 @@
+package pgsserrors
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestKindClassifiesWrappedErrors(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{Invalidf("zero period"), "invalid-config"},
+		{Misalignedf("window %d vs gran %d", 15000, 10000), "misaligned-window"},
+		{fmt.Errorf("run x: %w", ErrBudgetExceeded), "budget-exceeded"},
+		{Corruptf("truncated file"), "cache-corrupt"},
+		{fmt.Errorf("%w: boom", ErrRunPanicked), "run-panicked"},
+		{fmt.Errorf("%w after 3 runs", ErrInterrupted), "interrupted"},
+		{errors.New("plain"), "other"},
+		{context.DeadlineExceeded, "other"},
+	}
+	for _, c := range cases {
+		if got := Kind(c.err); got != c.want {
+			t.Errorf("Kind(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+func TestSentinelsSurviveWrapping(t *testing.T) {
+	err := fmt.Errorf("outer: %w", Invalidf("inner %d", 7))
+	if !errors.Is(err, ErrInvalidConfig) {
+		t.Error("double-wrapped invalid-config lost its sentinel")
+	}
+}
+
+func TestRetryable(t *testing.T) {
+	if Retryable(nil) {
+		t.Error("nil retryable")
+	}
+	if Retryable(Invalidf("x")) {
+		t.Error("invalid config must not be retryable")
+	}
+	if Retryable(fmt.Errorf("%w", ErrRunPanicked)) {
+		t.Error("panic must not be retryable")
+	}
+	if !Retryable(Corruptf("x")) {
+		t.Error("cache corruption should be retryable (heals on re-record)")
+	}
+	if !Retryable(Transient(errors.New("flaky io"))) {
+		t.Error("Transient not retryable")
+	}
+	if !Retryable(fmt.Errorf("wrapped: %w", Transient(errors.New("flaky")))) {
+		t.Error("wrapped Transient not retryable")
+	}
+	if Transient(nil) != nil {
+		t.Error("Transient(nil) != nil")
+	}
+}

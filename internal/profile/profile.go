@@ -13,6 +13,7 @@
 package profile
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"math"
@@ -21,6 +22,7 @@ import (
 
 	"pgss/internal/bbv"
 	"pgss/internal/cpu"
+	"pgss/internal/pgsserrors"
 )
 
 // Config fixes the recording granularities.
@@ -42,10 +44,10 @@ func DefaultConfig() Config { return Config{FineOps: 1000, BBVOps: 10000} }
 // Validate checks the configuration.
 func (c Config) Validate() error {
 	if c.FineOps == 0 || c.BBVOps == 0 {
-		return fmt.Errorf("profile: zero granularity %+v", c)
+		return pgsserrors.Invalidf("profile: zero granularity %+v", c)
 	}
 	if c.BBVOps%c.FineOps != 0 {
-		return fmt.Errorf("profile: BBVOps %d not a multiple of FineOps %d", c.BBVOps, c.FineOps)
+		return pgsserrors.Invalidf("profile: BBVOps %d not a multiple of FineOps %d", c.BBVOps, c.FineOps)
 	}
 	return nil
 }
@@ -76,6 +78,18 @@ type Profile struct {
 // Record runs core in detailed mode to completion (or cfg.MaxOps) and
 // returns the profile. The BBV hash must be the one all consumers use.
 func Record(core *cpu.Core, hash *bbv.Hash, cfg Config) (*Profile, error) {
+	return RecordContext(context.Background(), core, hash, cfg)
+}
+
+// ctxCheckOps is how often RecordContext polls the context, in retired
+// ops. Coarse enough to stay off the hot path, fine enough that a
+// cancelled recording stops within a fraction of a second.
+const ctxCheckOps = 1 << 16
+
+// RecordContext is Record with cooperative cancellation: the context is
+// polled every ctxCheckOps retired ops and a cancelled or expired context
+// aborts the recording with an ErrBudgetExceeded-classed error.
+func RecordContext(ctx context.Context, core *cpu.Core, hash *bbv.Hash, cfg Config) (*Profile, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -105,6 +119,12 @@ func Record(core *cpu.Core, hash *bbv.Hash, cfg Config) (*Profile, error) {
 		}
 		if cfg.MaxOps > 0 && ops >= cfg.MaxOps {
 			break
+		}
+		if ops%ctxCheckOps == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("profile: %s: recording cancelled after %d ops: %w (%w)",
+					p.Benchmark, ops, pgsserrors.ErrBudgetExceeded, err)
+			}
 		}
 	}
 	if err := core.M.Err(); err != nil {
@@ -156,16 +176,18 @@ func (p *Profile) buildPrefix() {
 
 // CyclesWindow returns the cycle cost and op count of the window starting
 // at op position start (a multiple of FineOps) spanning ops (a multiple of
-// FineOps), clipped to the end of the program.
-func (p *Profile) CyclesWindow(start, ops uint64) (cycles, actualOps uint64) {
+// FineOps), clipped to the end of the program. Misaligned windows return
+// an ErrMisalignedWindow-classed error.
+func (p *Profile) CyclesWindow(start, ops uint64) (cycles, actualOps uint64, err error) {
 	if start%p.FineOps != 0 || ops%p.FineOps != 0 {
-		panic(fmt.Sprintf("profile: unaligned window start=%d ops=%d fine=%d", start, ops, p.FineOps))
+		return 0, 0, pgsserrors.Misalignedf(
+			"profile: window start=%d ops=%d not multiples of fine granularity %d", start, ops, p.FineOps)
 	}
 	p.buildPrefix()
 	i0 := int(start / p.FineOps)
 	n := int(ops / p.FineOps)
 	if i0 >= len(p.Cycles) {
-		return 0, 0
+		return 0, 0, nil
 	}
 	i1 := i0 + n
 	if i1 > len(p.Cycles) {
@@ -175,43 +197,53 @@ func (p *Profile) CyclesWindow(start, ops uint64) (cycles, actualOps uint64) {
 	for i := i0; i < i1; i++ {
 		actualOps += p.fineOpsAt(i)
 	}
-	return cycles, actualOps
+	return cycles, actualOps, nil
 }
 
 // IPCWindow returns the IPC of the given window (see CyclesWindow).
-func (p *Profile) IPCWindow(start, ops uint64) float64 {
-	cycles, actual := p.CyclesWindow(start, ops)
-	if cycles == 0 {
-		return 0
+func (p *Profile) IPCWindow(start, ops uint64) (float64, error) {
+	cycles, actual, err := p.CyclesWindow(start, ops)
+	if err != nil {
+		return 0, err
 	}
-	return float64(actual) / float64(cycles)
+	if cycles == 0 {
+		return 0, nil
+	}
+	return float64(actual) / float64(cycles), nil
 }
 
 // IPCSeries returns the IPC of consecutive windows of the given op
 // granularity (a multiple of FineOps) across the whole run. The final
 // partial window is included when it covers at least one fine interval.
-func (p *Profile) IPCSeries(gran uint64) []float64 {
-	if gran%p.FineOps != 0 || gran == 0 {
-		panic(fmt.Sprintf("profile: granularity %d not a multiple of FineOps %d", gran, p.FineOps))
+func (p *Profile) IPCSeries(gran uint64) ([]float64, error) {
+	if gran == 0 || gran%p.FineOps != 0 {
+		return nil, pgsserrors.Misalignedf(
+			"profile: granularity %d not a multiple of fine granularity %d", gran, p.FineOps)
 	}
 	var out []float64
 	for start := uint64(0); start < p.TotalOps; start += gran {
-		out = append(out, p.IPCWindow(start, gran))
+		ipc, err := p.IPCWindow(start, gran)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ipc)
 	}
-	return out
+	return out, nil
 }
 
 // BBVWindow returns the raw (unnormalised) BBV of the window starting at op
 // position start (a multiple of BBVOps) spanning ops (a multiple of
-// BBVOps), clipped at the end of the program.
-func (p *Profile) BBVWindow(start, ops uint64) bbv.Vector {
+// BBVOps), clipped at the end of the program. A window past the end of the
+// program returns (nil, nil).
+func (p *Profile) BBVWindow(start, ops uint64) (bbv.Vector, error) {
 	if start%p.BBVOps != 0 || ops%p.BBVOps != 0 {
-		panic(fmt.Sprintf("profile: unaligned BBV window start=%d ops=%d bbv=%d", start, ops, p.BBVOps))
+		return nil, pgsserrors.Misalignedf(
+			"profile: BBV window start=%d ops=%d not multiples of BBV granularity %d", start, ops, p.BBVOps)
 	}
 	j0 := int(start / p.BBVOps)
 	n := int(ops / p.BBVOps)
 	if j0 >= len(p.RawBBVs) {
-		return nil
+		return nil, nil
 	}
 	j1 := j0 + n
 	if j1 > len(p.RawBBVs) {
@@ -221,24 +253,28 @@ func (p *Profile) BBVWindow(start, ops uint64) bbv.Vector {
 	for j := j0 + 1; j < j1; j++ {
 		v.Add(p.RawBBVs[j])
 	}
-	return v
+	return v, nil
 }
 
 // BBVSeries returns normalised BBVs of consecutive windows at the given op
 // granularity (a multiple of BBVOps).
-func (p *Profile) BBVSeries(gran uint64) []bbv.Vector {
-	if gran%p.BBVOps != 0 || gran == 0 {
-		panic(fmt.Sprintf("profile: granularity %d not a multiple of BBVOps %d", gran, p.BBVOps))
+func (p *Profile) BBVSeries(gran uint64) ([]bbv.Vector, error) {
+	if gran == 0 || gran%p.BBVOps != 0 {
+		return nil, pgsserrors.Misalignedf(
+			"profile: granularity %d not a multiple of BBV granularity %d", gran, p.BBVOps)
 	}
 	var out []bbv.Vector
 	for start := uint64(0); start < p.TotalOps; start += gran {
-		v := p.BBVWindow(start, gran)
+		v, err := p.BBVWindow(start, gran)
+		if err != nil {
+			return nil, err
+		}
 		if v == nil {
 			break
 		}
 		out = append(out, v.Normalize())
 	}
-	return out
+	return out, nil
 }
 
 // NumFullWindows returns how many complete windows of the given
@@ -252,8 +288,11 @@ func (p *Profile) NumFullWindows(gran uint64) int {
 // IntervalStdDev returns the standard deviation of interval IPCs at the
 // given granularity — the σ that the paper's threshold analysis (Figs 7–10)
 // normalises IPC changes by. The trailing partial interval is excluded.
-func (p *Profile) IntervalStdDev(gran uint64) float64 {
-	series := p.IPCSeries(gran)
+func (p *Profile) IntervalStdDev(gran uint64) (float64, error) {
+	series, err := p.IPCSeries(gran)
+	if err != nil {
+		return 0, err
+	}
 	if full := p.NumFullWindows(gran); full < len(series) {
 		series = series[:full]
 	}
@@ -264,9 +303,42 @@ func (p *Profile) IntervalStdDev(gran uint64) float64 {
 		m2 += d * (x - mean)
 	}
 	if len(series) < 2 {
-		return 0
+		return 0, nil
 	}
-	return math.Sqrt(m2 / float64(len(series)-1))
+	return math.Sqrt(m2 / float64(len(series)-1)), nil
+}
+
+// CheckIntegrity verifies the structural invariants a healthy profile
+// satisfies, returning an ErrCacheCorrupt-classed error otherwise. Load
+// calls it, so a truncated, zero-filled or schema-drifted cache file is
+// reported as corrupt rather than producing bogus replays.
+func (p *Profile) CheckIntegrity() error {
+	if p.TotalOps == 0 || p.TotalCycles == 0 {
+		return pgsserrors.Corruptf("profile %q: empty run (%d ops, %d cycles)",
+			p.Benchmark, p.TotalOps, p.TotalCycles)
+	}
+	if err := (Config{FineOps: p.FineOps, BBVOps: p.BBVOps}).Validate(); err != nil {
+		return pgsserrors.Corruptf("profile %q: bad granularities: %v", p.Benchmark, err)
+	}
+	wantFine := (p.TotalOps + p.FineOps - 1) / p.FineOps
+	if uint64(len(p.Cycles)) != wantFine {
+		return pgsserrors.Corruptf("profile %q: %d fine intervals, want %d for %d ops",
+			p.Benchmark, len(p.Cycles), wantFine, p.TotalOps)
+	}
+	wantBBV := (p.TotalOps + p.BBVOps - 1) / p.BBVOps
+	if uint64(len(p.RawBBVs)) != wantBBV {
+		return pgsserrors.Corruptf("profile %q: %d BBV intervals, want %d for %d ops",
+			p.Benchmark, len(p.RawBBVs), wantBBV, p.TotalOps)
+	}
+	var cycles uint64
+	for _, c := range p.Cycles {
+		cycles += uint64(c)
+	}
+	if cycles != p.TotalCycles {
+		return pgsserrors.Corruptf("profile %q: interval cycles sum to %d, header says %d",
+			p.Benchmark, cycles, p.TotalCycles)
+	}
+	return nil
 }
 
 // Save writes the profile to path with gob encoding, creating parent
@@ -292,7 +364,10 @@ func (p *Profile) Save(path string) error {
 	return os.Rename(tmp, path)
 }
 
-// Load reads a profile written by Save.
+// Load reads a profile written by Save. Decode failures and integrity
+// violations (truncated writes, schema drift) are reported as
+// ErrCacheCorrupt so callers can delete the file and re-record; a missing
+// file keeps its os error (check with os.IsNotExist).
 func Load(path string) (*Profile, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -301,7 +376,10 @@ func Load(path string) (*Profile, error) {
 	defer f.Close()
 	var p Profile
 	if err := gob.NewDecoder(f).Decode(&p); err != nil {
-		return nil, fmt.Errorf("profile: decode %s: %w", path, err)
+		return nil, pgsserrors.Corruptf("profile: decode %s: %v", path, err)
+	}
+	if err := p.CheckIntegrity(); err != nil {
+		return nil, fmt.Errorf("profile: %s: %w", path, err)
 	}
 	return &p, nil
 }

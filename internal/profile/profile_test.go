@@ -1,7 +1,10 @@
 package profile
 
 import (
+	"context"
+	"errors"
 	"math"
+	"os"
 	"path/filepath"
 	"testing"
 	"testing/quick"
@@ -9,6 +12,7 @@ import (
 	"pgss/internal/bbv"
 	"pgss/internal/cpu"
 	"pgss/internal/isa"
+	"pgss/internal/pgsserrors"
 	"pgss/internal/program"
 )
 
@@ -105,7 +109,10 @@ func TestRecordMaxOps(t *testing.T) {
 func TestIPCWindowMatchesTrueIPC(t *testing.T) {
 	prog := computeProgram(t, 5000)
 	p := record(t, prog, Config{FineOps: 1000, BBVOps: 5000})
-	whole := p.IPCWindow(0, (p.TotalOps/1000+1)*1000)
+	whole, err := p.IPCWindow(0, (p.TotalOps/1000+1)*1000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(whole-p.TrueIPC()) > 1e-9 {
 		t.Errorf("whole-window IPC %g vs true %g", whole, p.TrueIPC())
 	}
@@ -116,7 +123,10 @@ func TestWindowsPartitionCycles(t *testing.T) {
 	p := record(t, prog, Config{FineOps: 1000, BBVOps: 4000})
 	var cycles, ops uint64
 	for start := uint64(0); start < p.TotalOps; start += 7000 {
-		c, o := p.CyclesWindow(start, 7000)
+		c, o, err := p.CyclesWindow(start, 7000)
+		if err != nil {
+			t.Fatal(err)
+		}
 		cycles += c
 		ops += o
 	}
@@ -125,21 +135,27 @@ func TestWindowsPartitionCycles(t *testing.T) {
 	}
 }
 
-func TestUnalignedWindowPanics(t *testing.T) {
+func TestUnalignedWindowErrors(t *testing.T) {
 	prog := computeProgram(t, 2000)
 	p := record(t, prog, Config{FineOps: 1000, BBVOps: 2000})
-	defer func() {
-		if recover() == nil {
-			t.Error("unaligned window did not panic")
-		}
-	}()
-	p.IPCWindow(500, 1000)
+	if _, err := p.IPCWindow(500, 1000); !errors.Is(err, pgsserrors.ErrMisalignedWindow) {
+		t.Errorf("unaligned IPCWindow: got %v, want ErrMisalignedWindow", err)
+	}
+	if _, err := p.BBVWindow(0, 3000); !errors.Is(err, pgsserrors.ErrMisalignedWindow) {
+		t.Errorf("unaligned BBVWindow: got %v, want ErrMisalignedWindow", err)
+	}
+	if _, _, err := p.CyclesWindow(0, 500); !errors.Is(err, pgsserrors.ErrMisalignedWindow) {
+		t.Errorf("unaligned CyclesWindow: got %v, want ErrMisalignedWindow", err)
+	}
 }
 
 func TestBBVSeriesNormalized(t *testing.T) {
 	prog := computeProgram(t, 20000)
 	p := record(t, prog, Config{FineOps: 1000, BBVOps: 2000})
-	series := p.BBVSeries(4000)
+	series, err := p.BBVSeries(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(series) == 0 {
 		t.Fatal("empty series")
 	}
@@ -160,7 +176,10 @@ func TestBBVWindowAggregation(t *testing.T) {
 	prog := computeProgram(t, 20000)
 	p := record(t, prog, Config{FineOps: 1000, BBVOps: 2000})
 	// Aggregating two windows equals the sum of raws.
-	w := p.BBVWindow(0, 4000)
+	w, err := p.BBVWindow(0, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	manual := p.RawBBVs[0].Clone()
 	manual.Add(p.RawBBVs[1])
 	for i := range w {
@@ -175,7 +194,10 @@ func TestIPCSeriesLengths(t *testing.T) {
 	p := record(t, prog, Config{FineOps: 1000, BBVOps: 2000})
 	f := func(mult uint8) bool {
 		g := (uint64(mult%10) + 1) * 1000
-		series := p.IPCSeries(g)
+		series, err := p.IPCSeries(g)
+		if err != nil {
+			return false
+		}
 		want := (p.TotalOps + g - 1) / g
 		return uint64(len(series)) == want
 	}
@@ -188,7 +210,10 @@ func TestIntervalStdDevFlatLoop(t *testing.T) {
 	prog := computeProgram(t, 50000)
 	p := record(t, prog, Config{FineOps: 1000, BBVOps: 2000})
 	// A single homogeneous loop: tiny interval σ (warmup aside).
-	sigma := p.IntervalStdDev(10_000)
+	sigma, err := p.IntervalStdDev(10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if sigma > 0.2 {
 		t.Errorf("flat loop σ = %g", sigma)
 	}
@@ -216,7 +241,88 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 }
 
 func TestLoadMissingFile(t *testing.T) {
-	if _, err := Load(filepath.Join(t.TempDir(), "absent")); err == nil {
+	_, err := Load(filepath.Join(t.TempDir(), "absent"))
+	if err == nil {
 		t.Error("loading a missing file succeeded")
+	}
+	// Missing files keep their os error (so callers can distinguish a cold
+	// cache from a corrupt one) and are NOT classified as corruption.
+	if !os.IsNotExist(err) {
+		t.Errorf("missing file error = %v, want os.IsNotExist", err)
+	}
+	if errors.Is(err, pgsserrors.ErrCacheCorrupt) {
+		t.Error("missing file misclassified as cache corruption")
+	}
+}
+
+func TestLoadTruncatedFileIsCorrupt(t *testing.T) {
+	prog := computeProgram(t, 5000)
+	p := record(t, prog, Config{FineOps: 1000, BBVOps: 5000})
+	path := filepath.Join(t.TempDir(), "p.profile")
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, pgsserrors.ErrCacheCorrupt) {
+		t.Errorf("truncated profile: got %v, want ErrCacheCorrupt", err)
+	}
+}
+
+func TestLoadGarbageFileIsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.profile")
+	if err := os.WriteFile(path, []byte("not a gob stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, pgsserrors.ErrCacheCorrupt) {
+		t.Errorf("garbage profile: got %v, want ErrCacheCorrupt", err)
+	}
+}
+
+func TestCheckIntegrity(t *testing.T) {
+	prog := computeProgram(t, 5000)
+	p := record(t, prog, Config{FineOps: 1000, BBVOps: 5000})
+	if err := p.CheckIntegrity(); err != nil {
+		t.Fatalf("fresh profile fails integrity: %v", err)
+	}
+	mutations := []struct {
+		name string
+		mut  func(q *Profile)
+	}{
+		{"truncated cycles", func(q *Profile) { q.Cycles = q.Cycles[:len(q.Cycles)-1] }},
+		{"truncated bbvs", func(q *Profile) { q.RawBBVs = q.RawBBVs[:0] }},
+		{"cycle sum mismatch", func(q *Profile) { q.TotalCycles += 7 }},
+		{"zero ops", func(q *Profile) { q.TotalOps = 0 }},
+	}
+	for _, m := range mutations {
+		q := *p
+		q.Cycles = append([]uint32(nil), p.Cycles...)
+		q.RawBBVs = append([]bbv.Vector(nil), p.RawBBVs...)
+		m.mut(&q)
+		if err := q.CheckIntegrity(); !errors.Is(err, pgsserrors.ErrCacheCorrupt) {
+			t.Errorf("%s: got %v, want ErrCacheCorrupt", m.name, err)
+		}
+	}
+}
+
+func TestRecordContextCancelled(t *testing.T) {
+	prog := computeProgram(t, 1_000_000)
+	core, err := cpu.NewCore(cpu.MustNewMachine(prog), cpu.DefaultCoreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = RecordContext(ctx, core, bbv.MustNewHash(5, 42), Config{FineOps: 1000, BBVOps: 5000})
+	if !errors.Is(err, pgsserrors.ErrBudgetExceeded) {
+		t.Errorf("cancelled recording: got %v, want ErrBudgetExceeded", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled recording does not wrap context.Canceled: %v", err)
 	}
 }

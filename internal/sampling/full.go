@@ -1,6 +1,6 @@
 package sampling
 
-import "fmt"
+import "pgss/internal/pgsserrors"
 
 // Full runs the benchmark entirely in detailed mode through the Target
 // window interface — the ground-truth technique every sampled technique is
@@ -8,7 +8,7 @@ import "fmt"
 // the target's BBV granularity).
 func Full(t Target, windowOps uint64) (Result, error) {
 	if windowOps == 0 {
-		return Result{}, fmt.Errorf("sampling: full: zero window")
+		return Result{}, pgsserrors.Invalidf("sampling: full: zero window")
 	}
 	res := Result{
 		Technique: "Full",
@@ -30,6 +30,9 @@ func Full(t Target, windowOps uint64) (Result, error) {
 			cycleEquiv += float64(w.SampleOps) / w.SampleIPC
 			res.Samples++
 		}
+	}
+	if err := t.Err(); err != nil {
+		return res, err
 	}
 	if cycleEquiv > 0 {
 		res.EstimatedIPC = ops / cycleEquiv

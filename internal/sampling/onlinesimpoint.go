@@ -3,6 +3,7 @@ package sampling
 import (
 	"fmt"
 
+	"pgss/internal/pgsserrors"
 	"pgss/internal/phase"
 	"pgss/internal/profile"
 )
@@ -20,6 +21,17 @@ type OnlineSimPointConfig struct {
 
 func (c OnlineSimPointConfig) String() string {
 	return fmt.Sprintf("%s/.%02dπ", opsLabel(c.IntervalOps), int(c.ThresholdPi*100+0.5))
+}
+
+// Validate checks the profile-independent configuration constraints.
+func (c OnlineSimPointConfig) Validate() error {
+	if c.IntervalOps == 0 {
+		return pgsserrors.Invalidf("sampling: online simpoint: zero interval in %+v", c)
+	}
+	if c.ThresholdPi < 0 || c.ThresholdPi > 0.5 {
+		return pgsserrors.Invalidf("sampling: online simpoint: threshold %gπ outside [0, 0.5π]", c.ThresholdPi)
+	}
+	return nil
 }
 
 // OnlineSimPointSweep returns the configurations tested for the baseline:
@@ -48,8 +60,12 @@ func OnlineSimPointOverall(scale uint64) OnlineSimPointConfig {
 
 // OnlineSimPoint runs the baseline against a recorded profile.
 func OnlineSimPoint(p *profile.Profile, cfg OnlineSimPointConfig) (Result, error) {
-	if cfg.IntervalOps == 0 || cfg.IntervalOps%p.BBVOps != 0 {
-		return Result{}, fmt.Errorf("sampling: online simpoint: interval %d not a multiple of BBV granularity %d",
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.IntervalOps%p.BBVOps != 0 {
+		return Result{}, pgsserrors.Misalignedf(
+			"sampling: online simpoint: interval %d not a multiple of BBV granularity %d",
 			cfg.IntervalOps, p.BBVOps)
 	}
 	res := Result{
@@ -58,7 +74,10 @@ func OnlineSimPoint(p *profile.Profile, cfg OnlineSimPointConfig) (Result, error
 		Benchmark: p.Benchmark,
 		TrueIPC:   p.TrueIPC(),
 	}
-	vectors := p.BBVSeries(cfg.IntervalOps)
+	vectors, err := p.BBVSeries(cfg.IntervalOps)
+	if err != nil {
+		return res, err
+	}
 	if len(vectors) == 0 {
 		return res, fmt.Errorf("sampling: online simpoint: no intervals")
 	}
@@ -87,7 +106,10 @@ func OnlineSimPoint(p *profile.Profile, cfg OnlineSimPointConfig) (Result, error
 		if ops == 0 || phaseOps[ph.ID] == 0 {
 			continue
 		}
-		ipc := p.IPCWindow(uint64(first)*cfg.IntervalOps, cfg.IntervalOps)
+		ipc, err := p.IPCWindow(uint64(first)*cfg.IntervalOps, cfg.IntervalOps)
+		if err != nil {
+			return res, err
+		}
 		if ipc <= 0 {
 			continue
 		}

@@ -19,6 +19,7 @@ import (
 
 	"pgss/internal/bbv"
 	"pgss/internal/cpu"
+	"pgss/internal/pgsserrors"
 	"pgss/internal/profile"
 )
 
@@ -108,16 +109,24 @@ type Target interface {
 	// NextWindow advances by up to `ops` operations. If warm+sample > 0,
 	// the window begins with `warm` detailed warm-up ops followed by
 	// `sample` measured detailed ops; the remainder runs in
-	// functional-warming mode. It returns false at end of program.
+	// functional-warming mode. It returns false at end of program — or on
+	// error, in which case Err reports it.
 	NextWindow(ops, warm, sample uint64) (Window, bool)
+	// Err returns the error that terminated window delivery, if any.
+	// Controllers must check it after their NextWindow loop ends: a false
+	// return from NextWindow means either normal exhaustion (Err() == nil)
+	// or a failure such as a misaligned window request.
+	Err() error
 }
 
 // ProfileTarget replays a recorded profile as a Target. Window sizes must
 // be multiples of the profile's BBV granularity, and warm-up/sample sizes
-// multiples of its fine granularity.
+// multiples of its fine granularity; a misaligned request ends the window
+// stream and surfaces through Err.
 type ProfileTarget struct {
 	p   *profile.Profile
 	pos uint64
+	err error
 }
 
 // NewProfileTarget wraps p.
@@ -143,23 +152,37 @@ func (t *ProfileTarget) Pos() uint64 { return t.pos }
 // Done implements Target.
 func (t *ProfileTarget) Done() bool { return t.pos >= t.p.TotalOps }
 
-// Reset rewinds to the start of the program.
-func (t *ProfileTarget) Reset() { t.pos = 0 }
+// Reset rewinds to the start of the program and clears any sticky error.
+func (t *ProfileTarget) Reset() { t.pos, t.err = 0, nil }
+
+// Err implements Target.
+func (t *ProfileTarget) Err() error { return t.err }
+
+// fail records err and ends the window stream.
+func (t *ProfileTarget) fail(err error) (Window, bool) {
+	t.err = err
+	return Window{}, false
+}
 
 // NextWindow implements Target.
 func (t *ProfileTarget) NextWindow(ops, warm, sample uint64) (Window, bool) {
-	if t.Done() {
+	if t.Done() || t.err != nil {
 		return Window{}, false
 	}
 	if ops == 0 || ops%t.p.BBVOps != 0 {
-		panic(fmt.Sprintf("sampling: window %d not a multiple of BBV granularity %d", ops, t.p.BBVOps))
+		return t.fail(pgsserrors.Misalignedf(
+			"sampling: window %d not a multiple of BBV granularity %d", ops, t.p.BBVOps))
 	}
 	if warm%t.p.FineOps != 0 || sample%t.p.FineOps != 0 {
-		panic(fmt.Sprintf("sampling: warm %d / sample %d not multiples of fine granularity %d",
+		return t.fail(pgsserrors.Misalignedf(
+			"sampling: warm %d / sample %d not multiples of fine granularity %d",
 			warm, sample, t.p.FineOps))
 	}
 	w := Window{SampleIPC: math.NaN()}
-	raw := t.p.BBVWindow(t.pos, ops)
+	raw, err := t.p.BBVWindow(t.pos, ops)
+	if err != nil {
+		return t.fail(err)
+	}
 	if raw == nil {
 		t.pos = t.p.TotalOps
 		return Window{}, false
@@ -171,7 +194,10 @@ func (t *ProfileTarget) NextWindow(ops, warm, sample uint64) (Window, bool) {
 		w.Ops = remaining
 	}
 	if sample > 0 && warm+sample <= w.Ops {
-		ipc := t.p.IPCWindow(t.pos+warm, sample)
+		ipc, err := t.p.IPCWindow(t.pos+warm, sample)
+		if err != nil {
+			return t.fail(err)
+		}
 		if ipc > 0 {
 			w.SampleIPC = ipc
 			w.SampleOps = sample
@@ -219,6 +245,10 @@ func (t *LiveTarget) Pos() uint64 { return t.pos }
 
 // Done implements Target.
 func (t *LiveTarget) Done() bool { return t.core.M.Halted() }
+
+// Err implements Target: a live target ends on machine halt, which is
+// abnormal only when the machine itself reports an error.
+func (t *LiveTarget) Err() error { return t.core.M.Err() }
 
 // NextWindow implements Target.
 func (t *LiveTarget) NextWindow(ops, warm, sample uint64) (Window, bool) {

@@ -1,11 +1,13 @@
 package sampling
 
 import (
+	"errors"
 	"math"
 	"testing"
 
 	"pgss/internal/bbv"
 	"pgss/internal/cpu"
+	"pgss/internal/pgsserrors"
 	"pgss/internal/profile"
 	"pgss/internal/program"
 	"pgss/internal/workload"
@@ -69,15 +71,42 @@ func TestProfileTargetWindows(t *testing.T) {
 	}
 }
 
-func TestProfileTargetAlignmentPanics(t *testing.T) {
+func TestProfileTargetAlignmentErrors(t *testing.T) {
 	p := suiteProfile(t, "177.mesa", 2_000_000)
 	tgt := NewProfileTarget(p)
-	defer func() {
-		if recover() == nil {
-			t.Error("unaligned window accepted")
-		}
-	}()
-	tgt.NextWindow(15_000, 0, 0) // not a multiple of BBVOps (10k)
+	if _, ok := tgt.NextWindow(15_000, 0, 0); ok { // not a multiple of BBVOps (10k)
+		t.Error("unaligned window accepted")
+	}
+	if err := tgt.Err(); !errors.Is(err, pgsserrors.ErrMisalignedWindow) {
+		t.Errorf("unaligned window: got %v, want ErrMisalignedWindow", err)
+	}
+	// The error is sticky: further calls keep failing...
+	if _, ok := tgt.NextWindow(10_000, 0, 0); ok {
+		t.Error("target advanced past a sticky error")
+	}
+	// ...and Reset clears it.
+	tgt.Reset()
+	if tgt.Err() != nil {
+		t.Error("Reset did not clear the error")
+	}
+	if _, ok := tgt.NextWindow(10_000, 0, 0); !ok {
+		t.Error("reset target refused an aligned window")
+	}
+}
+
+// TestControllersSurfaceTargetErrors: a misaligned configuration must reach
+// the caller as a structured error from every controller, not a panic or a
+// silent empty result.
+func TestControllersSurfaceTargetErrors(t *testing.T) {
+	p := suiteProfile(t, "177.mesa", 2_000_000)
+	cfg := DefaultSMARTSConfig(10)
+	cfg.PeriodOps = 15_000 // not a multiple of BBVOps
+	if _, err := SMARTS(NewProfileTarget(p), cfg); !errors.Is(err, pgsserrors.ErrMisalignedWindow) {
+		t.Errorf("SMARTS: got %v, want ErrMisalignedWindow", err)
+	}
+	if _, err := Full(NewProfileTarget(p), 15_000); !errors.Is(err, pgsserrors.ErrMisalignedWindow) {
+		t.Errorf("Full: got %v, want ErrMisalignedWindow", err)
+	}
 }
 
 func TestFullReproducesTruthExactly(t *testing.T) {

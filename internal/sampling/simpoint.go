@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pgss/internal/cluster"
+	"pgss/internal/pgsserrors"
 	"pgss/internal/profile"
 )
 
@@ -20,6 +21,19 @@ type SimPointConfig struct {
 
 func (c SimPointConfig) String() string {
 	return fmt.Sprintf("%dx%s", c.K, opsLabel(c.IntervalOps))
+}
+
+// Validate checks the profile-independent configuration constraints.
+// Alignment against a specific profile's BBV granularity is checked by
+// SimPoint itself.
+func (c SimPointConfig) Validate() error {
+	if c.IntervalOps == 0 {
+		return pgsserrors.Invalidf("sampling: simpoint: zero interval in %+v", c)
+	}
+	if c.K <= 0 {
+		return pgsserrors.Invalidf("sampling: simpoint: k=%d", c.K)
+	}
+	return nil
 }
 
 // opsLabel renders op counts as the paper does (100M, 10M, 1M, 100k).
@@ -69,12 +83,13 @@ func SimPointOverall(scale uint64) SimPointConfig {
 // (SimPoint's profiling run does not warm microarchitectural state); the
 // representative of each cluster is charged as detailed simulation.
 func SimPoint(p *profile.Profile, cfg SimPointConfig) (Result, error) {
-	if cfg.IntervalOps == 0 || cfg.IntervalOps%p.BBVOps != 0 {
-		return Result{}, fmt.Errorf("sampling: simpoint: interval %d not a multiple of BBV granularity %d",
-			cfg.IntervalOps, p.BBVOps)
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
-	if cfg.K <= 0 {
-		return Result{}, fmt.Errorf("sampling: simpoint: k=%d", cfg.K)
+	if cfg.IntervalOps%p.BBVOps != 0 {
+		return Result{}, pgsserrors.Misalignedf(
+			"sampling: simpoint: interval %d not a multiple of BBV granularity %d",
+			cfg.IntervalOps, p.BBVOps)
 	}
 	res := Result{
 		Technique: "SimPoint",
@@ -82,7 +97,10 @@ func SimPoint(p *profile.Profile, cfg SimPointConfig) (Result, error) {
 		Benchmark: p.Benchmark,
 		TrueIPC:   p.TrueIPC(),
 	}
-	vectors := p.BBVSeries(cfg.IntervalOps)
+	vectors, err := p.BBVSeries(cfg.IntervalOps)
+	if err != nil {
+		return res, err
+	}
 	if len(vectors) == 0 {
 		return res, fmt.Errorf("sampling: simpoint: no intervals (program of %d ops, interval %d)",
 			p.TotalOps, cfg.IntervalOps)
@@ -121,7 +139,10 @@ func SimPoint(p *profile.Profile, cfg SimPointConfig) (Result, error) {
 		start := uint64(rep) * cfg.IntervalOps
 		// Representative intervals are aligned to FineOps because
 		// IntervalOps is a multiple of BBVOps ≥ FineOps.
-		ipc := p.IPCWindow(start, cfg.IntervalOps)
+		ipc, err := p.IPCWindow(start, cfg.IntervalOps)
+		if err != nil {
+			return res, err
+		}
 		if ipc <= 0 {
 			continue
 		}
@@ -144,13 +165,17 @@ func SimPoint(p *profile.Profile, cfg SimPointConfig) (Result, error) {
 // al. 2005): k sweeps 1..maxK and the highest-BIC clustering wins.
 func SimPointAuto(p *profile.Profile, intervalOps uint64, maxK int, seed int64) (Result, error) {
 	if maxK <= 0 {
-		return Result{}, fmt.Errorf("sampling: simpoint auto: maxK=%d", maxK)
+		return Result{}, pgsserrors.Invalidf("sampling: simpoint auto: maxK=%d", maxK)
 	}
 	if intervalOps == 0 || intervalOps%p.BBVOps != 0 {
-		return Result{}, fmt.Errorf("sampling: simpoint auto: interval %d not a multiple of BBV granularity %d",
+		return Result{}, pgsserrors.Misalignedf(
+			"sampling: simpoint auto: interval %d not a multiple of BBV granularity %d",
 			intervalOps, p.BBVOps)
 	}
-	vectors := p.BBVSeries(intervalOps)
+	vectors, err := p.BBVSeries(intervalOps)
+	if err != nil {
+		return Result{}, err
+	}
 	if len(vectors) == 0 {
 		return Result{}, fmt.Errorf("sampling: simpoint auto: no intervals")
 	}

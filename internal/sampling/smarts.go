@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"pgss/internal/pgsserrors"
 	"pgss/internal/stats"
 )
 
@@ -34,10 +35,10 @@ func (c SMARTSConfig) String() string {
 // Validate checks the configuration.
 func (c SMARTSConfig) Validate() error {
 	if c.PeriodOps == 0 || c.SampleOps == 0 {
-		return fmt.Errorf("sampling: smarts: zero period or sample in %+v", c)
+		return pgsserrors.Invalidf("sampling: smarts: zero period or sample in %+v", c)
 	}
 	if c.WarmOps+c.SampleOps > c.PeriodOps {
-		return fmt.Errorf("sampling: smarts: warm+sample %d exceeds period %d",
+		return pgsserrors.Invalidf("sampling: smarts: warm+sample %d exceeds period %d",
 			c.WarmOps+c.SampleOps, c.PeriodOps)
 	}
 	return nil
@@ -73,6 +74,9 @@ func SMARTS(t Target, cfg SMARTSConfig) (Result, error) {
 			res.Samples++
 		}
 	}
+	if err := t.Err(); err != nil {
+		return res, err
+	}
 	if acc.Mean() > 0 {
 		res.EstimatedIPC = 1 / acc.Mean()
 	}
@@ -95,6 +99,9 @@ func SampleCPIs(t Target, cfg SMARTSConfig) ([]float64, error) {
 		if !math.IsNaN(w.SampleIPC) && w.SampleIPC > 0 {
 			out = append(out, 1/w.SampleIPC)
 		}
+	}
+	if err := t.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"pgss/internal/pgsserrors"
 	"pgss/internal/phase"
 	"pgss/internal/profile"
 	"pgss/internal/stats"
@@ -64,13 +65,17 @@ func (c StratifiedConfig) String() string {
 // Validate checks the configuration.
 func (c StratifiedConfig) Validate() error {
 	if c.IntervalOps == 0 || c.SampleOps == 0 {
-		return fmt.Errorf("sampling: stratified: zero interval or sample in %+v", c)
+		return pgsserrors.Invalidf("sampling: stratified: zero interval or sample in %+v", c)
+	}
+	if c.WarmOps+c.SampleOps > c.IntervalOps {
+		return pgsserrors.Invalidf("sampling: stratified: warm+sample %d exceeds interval %d",
+			c.WarmOps+c.SampleOps, c.IntervalOps)
 	}
 	if c.PilotPerStratum < 2 {
-		return fmt.Errorf("sampling: stratified: pilot %d < 2", c.PilotPerStratum)
+		return pgsserrors.Invalidf("sampling: stratified: pilot %d < 2", c.PilotPerStratum)
 	}
 	if c.Eps <= 0 {
-		return fmt.Errorf("sampling: stratified: eps %g", c.Eps)
+		return pgsserrors.Invalidf("sampling: stratified: eps %g", c.Eps)
 	}
 	return nil
 }
@@ -84,7 +89,8 @@ func Stratified(p *profile.Profile, cfg StratifiedConfig) (Result, error) {
 		return Result{}, err
 	}
 	if cfg.IntervalOps%p.BBVOps != 0 {
-		return Result{}, fmt.Errorf("sampling: stratified: interval %d not a multiple of BBV granularity %d",
+		return Result{}, pgsserrors.Misalignedf(
+			"sampling: stratified: interval %d not a multiple of BBV granularity %d",
 			cfg.IntervalOps, p.BBVOps)
 	}
 	res := Result{
@@ -95,7 +101,10 @@ func Stratified(p *profile.Profile, cfg StratifiedConfig) (Result, error) {
 	}
 
 	// Strata from offline phase classification.
-	vectors := p.BBVSeries(cfg.IntervalOps)
+	vectors, err := p.BBVSeries(cfg.IntervalOps)
+	if err != nil {
+		return res, err
+	}
 	n := p.NumFullWindows(cfg.IntervalOps)
 	if len(vectors) < n {
 		n = len(vectors)
@@ -117,7 +126,7 @@ func Stratified(p *profile.Profile, cfg StratifiedConfig) (Result, error) {
 	// samplePositions[h] tracks how many samples stratum h has taken so
 	// sampling positions spread across its member intervals.
 	acc := make([]stats.Running, numStrata)
-	sampleFrom := func(h int) {
+	sampleFrom := func(h int) error {
 		iv := members[h][rng.Intn(len(members[h]))]
 		base := uint64(iv) * cfg.IntervalOps
 		// Random aligned offset within the interval, leaving room for
@@ -128,13 +137,17 @@ func Stratified(p *profile.Profile, cfg StratifiedConfig) (Result, error) {
 		if steps > 0 {
 			off = uint64(rng.Int63n(int64(steps))) * p.FineOps
 		}
-		ipc := p.IPCWindow(base+off+cfg.WarmOps, cfg.SampleOps)
+		ipc, err := p.IPCWindow(base+off+cfg.WarmOps, cfg.SampleOps)
+		if err != nil {
+			return err
+		}
 		res.Costs.Detailed += cfg.SampleOps
 		res.Costs.DetailedWarm += cfg.WarmOps
 		res.Samples++
 		if ipc > 0 {
 			acc[h].Add(1 / ipc)
 		}
+		return nil
 	}
 
 	// Pilot round.
@@ -143,7 +156,9 @@ func Stratified(p *profile.Profile, cfg StratifiedConfig) (Result, error) {
 			continue
 		}
 		for i := 0; i < cfg.PilotPerStratum; i++ {
-			sampleFrom(h)
+			if err := sampleFrom(h); err != nil {
+				return res, err
+			}
 		}
 	}
 
@@ -194,7 +209,9 @@ func Stratified(p *profile.Profile, cfg StratifiedConfig) (Result, error) {
 		if best < 0 || bestScore == 0 {
 			break // every stratum is variance-free
 		}
-		sampleFrom(best)
+		if err := sampleFrom(best); err != nil {
+			return res, err
+		}
 	}
 
 	cpi, _ := estimate()

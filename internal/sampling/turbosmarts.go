@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"pgss/internal/pgsserrors"
 	"pgss/internal/profile"
 	"pgss/internal/stats"
 )
@@ -41,6 +42,17 @@ func (c TurboSMARTSConfig) String() string {
 	return fmt.Sprintf("%s/±%.0f%%@%.1f%%", c.SMARTS, c.Eps*100, c.Confidence*100)
 }
 
+// Validate checks the configuration.
+func (c TurboSMARTSConfig) Validate() error {
+	if err := c.SMARTS.Validate(); err != nil {
+		return err
+	}
+	if c.Eps <= 0 {
+		return pgsserrors.Invalidf("sampling: turbosmarts: eps %g", c.Eps)
+	}
+	return nil
+}
+
 // TurboSMARTS replays the live-point population of the profile in random
 // order until the confidence bound is met. Because samples come from
 // checkpoints, no fast-forwarding of any kind is charged; detailed warm-up
@@ -51,11 +63,8 @@ func (c TurboSMARTSConfig) String() string {
 // single-Gaussian assumption — exactly the failure mode the paper
 // demonstrates (§2.2, §5).
 func TurboSMARTS(p *profile.Profile, cfg TurboSMARTSConfig) (Result, error) {
-	if err := cfg.SMARTS.Validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return Result{}, err
-	}
-	if cfg.Eps <= 0 {
-		return Result{}, fmt.Errorf("sampling: turbosmarts: eps %g", cfg.Eps)
 	}
 	if cfg.MinSamples == 0 {
 		cfg.MinSamples = 2

@@ -21,19 +21,49 @@
 package pgss
 
 import (
+	"context"
 	"math"
 
 	"pgss/internal/bbv"
+	"pgss/internal/campaign"
 	"pgss/internal/checkpoint"
 	"pgss/internal/cmp"
 	"pgss/internal/core"
 	"pgss/internal/cpu"
+	"pgss/internal/pgsserrors"
 	"pgss/internal/profile"
 	"pgss/internal/program"
 	"pgss/internal/sampling"
 	"pgss/internal/trace"
 	"pgss/internal/workload"
 )
+
+// Error taxonomy. Every failure the library returns is classified under
+// one of these sentinels; test with errors.Is, or use ErrorKind for a
+// stable string label. Configuration types re-exported below additionally
+// carry a Validate() method returning ErrInvalidConfig-classed errors,
+// and every Run* entry point validates its configuration up front.
+var (
+	// ErrInvalidConfig marks configurations rejected by Validate.
+	ErrInvalidConfig = pgsserrors.ErrInvalidConfig
+	// ErrMisalignedWindow marks window requests not aligned to the
+	// profile's recording granularities.
+	ErrMisalignedWindow = pgsserrors.ErrMisalignedWindow
+	// ErrBudgetExceeded marks runs stopped by a context deadline or
+	// cancellation (op/time budgets).
+	ErrBudgetExceeded = pgsserrors.ErrBudgetExceeded
+	// ErrCacheCorrupt marks unreadable or inconsistent on-disk profiles.
+	ErrCacheCorrupt = pgsserrors.ErrCacheCorrupt
+	// ErrRunPanicked marks campaign runs that panicked and were recovered.
+	ErrRunPanicked = pgsserrors.ErrRunPanicked
+	// ErrInterrupted marks campaign runs cancelled before completion.
+	ErrInterrupted = pgsserrors.ErrInterrupted
+)
+
+// ErrorKind returns the taxonomy class of err ("invalid-config",
+// "misaligned-window", "budget-exceeded", "cache-corrupt", "run-panicked",
+// "interrupted", "other", or "" for nil).
+func ErrorKind(err error) string { return pgsserrors.Kind(err) }
 
 // DefaultScale is the standard parameter scale divisor relative to the
 // paper's SPEC-scale values.
@@ -114,8 +144,23 @@ func RecordWithCore(spec *WorkloadSpec, totalOps uint64, cc CoreConfig) (*Profil
 	return RecordProgram(prog, cc)
 }
 
+// RecordContext is Record under a context: cancellation or deadline expiry
+// stops the detailed pass with an ErrBudgetExceeded-classed error.
+func RecordContext(ctx context.Context, spec *WorkloadSpec, totalOps uint64) (*Profile, error) {
+	prog, err := spec.Build(totalOps)
+	if err != nil {
+		return nil, err
+	}
+	return RecordProgramContext(ctx, prog, DefaultCoreConfig())
+}
+
 // RecordProgram runs one full detailed simulation of an arbitrary program.
 func RecordProgram(prog *Program, cc CoreConfig) (*Profile, error) {
+	return RecordProgramContext(context.Background(), prog, cc)
+}
+
+// RecordProgramContext is RecordProgram under a context.
+func RecordProgramContext(ctx context.Context, prog *Program, cc CoreConfig) (*Profile, error) {
 	m, err := cpu.NewMachine(prog)
 	if err != nil {
 		return nil, err
@@ -128,7 +173,7 @@ func RecordProgram(prog *Program, cc CoreConfig) (*Profile, error) {
 	if err != nil {
 		return nil, err
 	}
-	return profile.Record(c, hash, profile.DefaultConfig())
+	return profile.RecordContext(ctx, c, hash, profile.DefaultConfig())
 }
 
 // defaultHashSeed fixes the BBV hash bit selection across the library.
@@ -168,6 +213,18 @@ func RunPGSS(p *Profile, cfg PGSSConfig) (Result, PGSSStats, error) {
 // RunPGSSOn runs PGSS over any target (e.g. a live simulation).
 func RunPGSSOn(t Target, cfg PGSSConfig) (Result, PGSSStats, error) {
 	return core.Run(t, cfg)
+}
+
+// RunPGSSContext is RunPGSS under a context: cancellation or deadline
+// expiry stops the run between windows with an ErrBudgetExceeded-classed
+// error carrying the partial statistics.
+func RunPGSSContext(ctx context.Context, p *Profile, cfg PGSSConfig) (Result, PGSSStats, error) {
+	return core.RunContext(ctx, sampling.NewProfileTarget(p), cfg)
+}
+
+// RunPGSSOnContext is RunPGSSOn under a context.
+func RunPGSSOnContext(ctx context.Context, t Target, cfg PGSSConfig) (Result, PGSSStats, error) {
+	return core.RunContext(ctx, t, cfg)
 }
 
 // DefaultSMARTSConfig returns the paper's SMARTS parameters at the given
@@ -343,4 +400,36 @@ func CapturePhaseTraces(prog *Program, cc CoreConfig, intervalOps uint64,
 // estimate.
 func EstimateIPCFromTraces(traces []PhaseTrace, cc CoreConfig) (float64, error) {
 	return trace.EstimateIPC(traces, cc)
+}
+
+// Fault-tolerant campaign execution (see internal/campaign): batches of
+// benchmark × technique × seed runs on a worker pool with per-run panic
+// recovery, retries with backoff, per-run budgets and a JSONL journal for
+// kill/resume.
+
+type (
+	// CampaignSpec identifies one run of a campaign.
+	CampaignSpec = campaign.Spec
+	// CampaignOptions configures the campaign runner.
+	CampaignOptions = campaign.Options
+	// CampaignOutcome is the terminal state of one campaign run.
+	CampaignOutcome = campaign.Outcome
+	// CampaignReport aggregates a campaign's outcomes.
+	CampaignReport = campaign.Report
+	// CampaignRunFunc executes one campaign run.
+	CampaignRunFunc = campaign.RunFunc
+)
+
+// CampaignGrid builds the cross product of benchmarks × techniques ×
+// seeds.
+func CampaignGrid(benchmarks, techniques []string, seeds []int64) []CampaignSpec {
+	return campaign.Grid(benchmarks, techniques, seeds)
+}
+
+// RunCampaign executes specs through fn on a worker pool with the
+// campaign runner's fault tolerance. Per-run failures land in the report;
+// the returned error is reserved for campaign-level failures (an unusable
+// journal).
+func RunCampaign(ctx context.Context, specs []CampaignSpec, fn CampaignRunFunc, opts CampaignOptions) (*CampaignReport, error) {
+	return campaign.Run(ctx, specs, fn, opts)
 }
