@@ -1,6 +1,8 @@
 GO ?= go
+BENCHTIME ?= 1x
+BENCH_JSON ?= BENCH_pr2.json
 
-.PHONY: build test vet race bench ci clean
+.PHONY: build test vet fmt-check lint race bench bench-json bench-check ci clean
 
 build:
 	$(GO) build ./...
@@ -11,15 +13,47 @@ test:
 vet:
 	$(GO) vet ./...
 
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# staticcheck is the lint bar in CI (installed there from a pinned version).
+# Locally it runs when present on PATH and is skipped with a notice otherwise,
+# so `make ci` works on minimal toolchains.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping (CI runs it)"; fi
+
 # The campaign runner and the suite's singleflight recording are concurrent;
 # the race detector is part of the acceptance bar, not an optional extra.
 race:
 	$(GO) test -race ./...
 
+# All packages, one iteration each: a smoke run that proves every benchmark
+# still compiles and executes. Raise BENCHTIME for real measurements.
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) test -bench . -benchtime $(BENCHTIME) -run '^$$' ./...
 
-ci: build vet test race
+# Machine-readable benchmark snapshot (see cmd/pgss-benchdiff). ns/op values
+# are only comparable on the same hardware; the snapshot records CPU count.
+bench-json:
+	$(GO) build -o /tmp/pgss-benchdiff ./cmd/pgss-benchdiff
+	$(GO) test -bench . -benchtime $(BENCHTIME) -run '^$$' ./... \
+		| /tmp/pgss-benchdiff -parse -o $(BENCH_JSON)
+	@echo "wrote $(BENCH_JSON)"
+
+# Compare a fresh run against the committed snapshot. Only meaningful on the
+# machine that produced the baseline; CI instead benches base vs head on one
+# runner (see .github/workflows/ci.yml).
+bench-check:
+	$(GO) build -o /tmp/pgss-benchdiff ./cmd/pgss-benchdiff
+	$(GO) test -bench . -benchtime $(BENCHTIME) -run '^$$' ./... \
+		| /tmp/pgss-benchdiff -parse -o /tmp/pgss-bench-head.json
+	/tmp/pgss-benchdiff -baseline $(BENCH_JSON) -current /tmp/pgss-bench-head.json -max-regress 15
+
+ci: build vet fmt-check lint test race
 
 clean:
 	$(GO) clean ./...

@@ -49,6 +49,8 @@ func main() {
 	camp := flag.String("campaign", "", "run a campaign of the given techniques ('all' or comma-separated) instead of figures")
 	seeds := flag.Int("seeds", 1, "campaign: seeds per benchmark × technique pair")
 	jobs := flag.Int("jobs", 0, "parallel workers for recording and campaigns (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "PGSS runs: concurrent fast-forward shards per run (0/1 = serial engine)")
+	sampleWorkers := flag.Int("sample-workers", 0, "PGSS runs: concurrent detailed-sample workers per run (0/1 = serial engine)")
 	timeout := flag.Duration("timeout", 0, "campaign: per-run time budget (0 = unbounded)")
 	retries := flag.Int("retries", 2, "campaign: max attempts per run for retryable failures")
 	journal := flag.String("journal", "", "campaign: journal path (default campaign.jsonl under the cache dir)")
@@ -67,6 +69,8 @@ func main() {
 	opts.CacheDir = *cache
 	opts.Quiet = *quiet
 	opts.Jobs = *jobs
+	opts.Shards = *shards
+	opts.SampleWorkers = *sampleWorkers
 	opts.Context = ctx
 	suite, err := experiments.NewSuite(opts)
 	if err != nil {
@@ -74,16 +78,21 @@ func main() {
 	}
 
 	if *camp != "" {
+		inner := *shards
+		if *sampleWorkers > inner {
+			inner = *sampleWorkers
+		}
 		runCampaign(ctx, suite, campaignConfig{
-			techniques: strings.Split(*camp, ","),
-			seeds:      *seeds,
-			jobs:       *jobs,
-			timeout:    *timeout,
-			retries:    *retries,
-			journal:    *journal,
-			cacheDir:   *cache,
-			resume:     *resume,
-			quiet:      *quiet,
+			techniques:  strings.Split(*camp, ","),
+			seeds:       *seeds,
+			jobs:        *jobs,
+			innerShards: inner,
+			timeout:     *timeout,
+			retries:     *retries,
+			journal:     *journal,
+			cacheDir:    *cache,
+			resume:      *resume,
+			quiet:       *quiet,
 		})
 		return
 	}
@@ -126,15 +135,16 @@ func main() {
 }
 
 type campaignConfig struct {
-	techniques []string
-	seeds      int
-	jobs       int
-	timeout    time.Duration
-	retries    int
-	journal    string
-	cacheDir   string
-	resume     bool
-	quiet      bool
+	techniques  []string
+	seeds       int
+	jobs        int
+	innerShards int
+	timeout     time.Duration
+	retries     int
+	journal     string
+	cacheDir    string
+	resume      bool
+	quiet       bool
 }
 
 func runCampaign(ctx context.Context, suite *experiments.Suite, cfg campaignConfig) {
@@ -161,6 +171,7 @@ func runCampaign(ctx context.Context, suite *experiments.Suite, cfg campaignConf
 
 	rep, err := campaign.Run(ctx, specs, suite.CampaignRun, campaign.Options{
 		Jobs:        cfg.jobs,
+		InnerShards: cfg.innerShards,
 		Timeout:     cfg.timeout,
 		MaxAttempts: cfg.retries,
 		JournalPath: journal,

@@ -1,0 +1,190 @@
+// Command pgss-benchdiff converts `go test -bench` output into a
+// machine-readable JSON snapshot and gates benchmark regressions.
+//
+// Parse mode reads bench output from stdin and writes a snapshot:
+//
+//	go test -bench . -run '^$' ./... | pgss-benchdiff -parse -o BENCH_pr2.json
+//
+// Compare mode diffs two snapshots and exits non-zero when any benchmark
+// present in both regressed by more than -max-regress percent in ns/op:
+//
+//	pgss-benchdiff -baseline BENCH_pr2.json -current head.json -max-regress 15
+//
+// ns/op comparisons are only meaningful between snapshots taken on the
+// same hardware; the CI gate therefore benches the PR's base and head on
+// the same runner rather than trusting a committed baseline's absolute
+// numbers. The committed snapshot records the perf trajectory (and the
+// recording machine's CPU count) for human inspection.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+)
+
+// Snapshot is the benchmark record written by -parse.
+type Snapshot struct {
+	Schema     int                  `json:"schema"`
+	GoVersion  string               `json:"go"`
+	CPUs       int                  `json:"cpus"`
+	Benchmarks map[string]BenchStat `json:"benchmarks"`
+}
+
+// BenchStat is one benchmark's result.
+type BenchStat struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	Iterations  int64   `json:"iterations"`
+}
+
+// benchLine matches `BenchmarkName-8  1000  123.4 ns/op  0 B/op  0 allocs/op`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+var metricRe = regexp.MustCompile(`\s+([0-9.]+) (B/op|allocs/op)`)
+
+func main() {
+	parse := flag.Bool("parse", false, "read `go test -bench` output from stdin and write a JSON snapshot")
+	out := flag.String("o", "", "parse: output path (default stdout)")
+	baseline := flag.String("baseline", "", "compare: baseline snapshot path")
+	current := flag.String("current", "", "compare: current snapshot path")
+	maxRegress := flag.Float64("max-regress", 15, "compare: max allowed ns/op regression in percent")
+	flag.Parse()
+
+	switch {
+	case *parse:
+		if err := runParse(*out); err != nil {
+			fatal(err)
+		}
+	case *baseline != "" && *current != "":
+		regressed, err := runCompare(*baseline, *current, *maxRegress)
+		if err != nil {
+			fatal(err)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "pgss-benchdiff: need -parse or both -baseline and -current")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runParse(out string) error {
+	snap := Snapshot{
+		Schema:     1,
+		GoVersion:  runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		Benchmarks: map[string]BenchStat{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		stat := BenchStat{NsPerOp: ns, Iterations: iters}
+		for _, mm := range metricRe.FindAllStringSubmatch(m[4], -1) {
+			v, _ := strconv.ParseFloat(mm[1], 64)
+			switch mm[2] {
+			case "B/op":
+				stat.BytesPerOp = v
+			case "allocs/op":
+				stat.AllocsPerOp = v
+			}
+		}
+		// Duplicate names (same benchmark in several packages would be a
+		// bug; repeated -count runs are not) keep the fastest run, the
+		// usual noise-robust choice.
+		if prev, ok := snap.Benchmarks[m[1]]; !ok || stat.NsPerOp < prev.NsPerOp {
+			snap.Benchmarks[m[1]] = stat
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("reading stdin: %w", err)
+	}
+	if len(snap.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(out, enc, 0o644)
+}
+
+func load(path string) (Snapshot, error) {
+	var s Snapshot
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+func runCompare(basePath, curPath string, maxRegress float64) (regressed bool, err error) {
+	base, err := load(basePath)
+	if err != nil {
+		return false, err
+	}
+	cur, err := load(curPath)
+	if err != nil {
+		return false, err
+	}
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Println("pgss-benchdiff: no common benchmarks to compare")
+		return false, nil
+	}
+	fmt.Printf("%-44s %12s %12s %8s\n", "benchmark", "base ns/op", "head ns/op", "delta")
+	for _, name := range names {
+		b, c := base.Benchmarks[name], cur.Benchmarks[name]
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		delta := (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		mark := ""
+		if delta > maxRegress {
+			mark = "  << REGRESSION"
+			regressed = true
+		}
+		fmt.Printf("%-44s %12.1f %12.1f %+7.1f%%%s\n", name, b.NsPerOp, c.NsPerOp, delta, mark)
+	}
+	if regressed {
+		fmt.Printf("pgss-benchdiff: ns/op regression beyond %.0f%% detected\n", maxRegress)
+	}
+	return regressed, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pgss-benchdiff:", err)
+	os.Exit(1)
+}

@@ -234,15 +234,27 @@ func (t *Tracker) TakeRaw() Vector {
 // TakeVector compiles the registers into a normalised Vector and clears
 // them for the next sampling period.
 func (t *Tracker) TakeVector() Vector {
-	v := make(Vector, len(t.regs))
-	copy(v, t.regs)
+	return t.TakeVectorInto(make(Vector, len(t.regs)))
+}
+
+// TakeVectorInto is TakeVector into a caller-owned buffer of length
+// Buckets, avoiding the per-period allocation on hot replay and
+// fast-forward loops. It returns dst normalised.
+func (t *Tracker) TakeVectorInto(dst Vector) Vector {
+	copy(dst, t.regs)
 	for i := range t.regs {
 		t.regs[i] = 0
 	}
 	// Residual ops stay pending: they belong to the basic block that will
 	// complete (with its taken branch) in the next period.
-	return v.Normalize()
+	return dst.Normalize()
 }
+
+// DropPending discards the ops retired since the last taken branch. The
+// parallel engine calls it at every window boundary so a window's vector
+// depends only on the window's own retire stream — making the vectors
+// invariant to how the stream is split into shards.
+func (t *Tracker) DropPending() { t.pending = 0 }
 
 // Reset clears all accumulated state.
 func (t *Tracker) Reset() {

@@ -74,8 +74,14 @@ type RunFunc func(ctx context.Context, spec Spec) (sampling.Result, error)
 
 // Options configures a campaign.
 type Options struct {
-	// Jobs is the worker-pool width (default GOMAXPROCS).
+	// Jobs is the worker-pool width (default GOMAXPROCS divided by
+	// InnerShards when that is set).
 	Jobs int
+	// InnerShards declares the per-run inner parallelism (shards or
+	// sample workers each run spins up); the default Jobs divides
+	// GOMAXPROCS by it so campaign × run concurrency does not
+	// oversubscribe the machine.
+	InnerShards int
 	// Timeout bounds each attempt (0 = unbounded). Expiry surfaces as an
 	// ErrBudgetExceeded-classed failure.
 	Timeout time.Duration
@@ -171,6 +177,9 @@ func (r *Report) FirstError() error {
 func Run(ctx context.Context, specs []Spec, fn RunFunc, opts Options) (*Report, error) {
 	if opts.Jobs <= 0 {
 		opts.Jobs = runtime.GOMAXPROCS(0)
+		if opts.InnerShards > 1 {
+			opts.Jobs = max(1, opts.Jobs/opts.InnerShards)
+		}
 	}
 	if opts.MaxAttempts <= 0 {
 		opts.MaxAttempts = 1

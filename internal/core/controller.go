@@ -1,0 +1,269 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"pgss/internal/bbv"
+	"pgss/internal/phase"
+	"pgss/internal/sampling"
+	"pgss/internal/stats"
+)
+
+// Controller is the per-window PGSS decision machine, factored out of the
+// serial run loop so the serial driver (RunContext) and the parallel
+// engine (package parallel) share one implementation and therefore one
+// behaviour.
+//
+// The controller consumes fast-forward windows in program order via
+// Advance and hands back SampleRequests for the detailed samples it
+// schedules. A request's result may be delivered asynchronously: the
+// controller defers attributing a sample's CPI to its phase until the
+// first decision that actually depends on it (the next confidence-bound
+// evaluation of that phase, or Finish). Because PGSS's scheduling
+// decisions for a window depend only on that window's BBV, on op
+// positions, and on the sampled CPIs of the window's own phase, this lazy
+// settlement produces results identical to immediate settlement — which is
+// what makes a sharded, worker-pool execution bit-identical to the serial
+// one.
+type Controller struct {
+	cfg Config
+	res sampling.Result
+	st  Stats
+
+	table *phase.Table
+	z     float64
+
+	windowIdx int
+
+	// inflight is the sample scheduled by the most recent Advance; it
+	// physically sits at the start of the next window and is adopted (or
+	// dropped, at end of program) by the next Advance/Finish.
+	inflight *pendingSample
+	// pending queues unsettled samples per phase ID, in execution order.
+	pending map[int][]*pendingSample
+	// order records every adopted sample in execution order for the final
+	// drain.
+	order []*pendingSample
+}
+
+// pendingSample is one scheduled detailed sample whose measurement may
+// arrive after later windows have been processed.
+type pendingSample struct {
+	phase   *phase.Phase // phase the sample is attributed to
+	guarded bool         // discard under GuardTransitions (phase changed under the sample)
+	recPos  uint64       // op position after the window the sample sat in
+
+	ready chan struct{} // closed by Resolve/Fail
+	// Written by Resolve/Fail before ready closes, read after it closes.
+	ipc                float64
+	warmOps, sampleOps uint64 // detailed ops actually executed
+	err                error
+
+	settled bool
+}
+
+// SampleRequest asks the driver to execute one detailed sample: Warm
+// warm-up ops followed by Sample measured ops starting at op position Pos
+// (the start of the window following the one that scheduled it). The
+// driver must call exactly one of Resolve or Fail — unless the program
+// ends before the sample's window begins, in which case the request may be
+// dropped (the serial semantics: a sample scheduled at the last window is
+// never executed).
+type SampleRequest struct {
+	Pos    uint64
+	Warm   uint64
+	Sample uint64
+
+	ps *pendingSample
+}
+
+// Resolve delivers the sample measurement: its IPC and the detailed ops
+// actually spent. A non-positive or NaN IPC, or zero sampleOps, marks the
+// sample invalid — the ops are still charged, nothing is recorded.
+func (r *SampleRequest) Resolve(ipc float64, warmOps, sampleOps uint64) {
+	r.ps.ipc = ipc
+	r.ps.warmOps = warmOps
+	r.ps.sampleOps = sampleOps
+	close(r.ps.ready)
+}
+
+// Fail aborts the sample; the error surfaces from the Advance or Finish
+// call that settles it.
+func (r *SampleRequest) Fail(err error) {
+	r.ps.err = err
+	close(r.ps.ready)
+}
+
+// NewController validates cfg and prepares a controller for one run.
+func NewController(cfg Config, benchmark string, trueIPC float64) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	table := phase.MustNewTable(cfg.ThresholdPi * math.Pi)
+	table.CheckCurrentFirst = !cfg.NoCurrentFirst
+	table.Manhattan = cfg.Manhattan
+	return &Controller{
+		cfg: cfg,
+		res: sampling.Result{
+			Technique: "PGSS",
+			Config:    cfg.String(),
+			Benchmark: benchmark,
+			TrueIPC:   trueIPC,
+		},
+		table:   table,
+		z:       stats.ConfidenceZ(cfg.Confidence),
+		pending: map[int][]*pendingSample{},
+	}, nil
+}
+
+// Windows returns the number of windows consumed so far.
+func (c *Controller) Windows() int { return c.windowIdx }
+
+// Partial returns the result and statistics accumulated so far; used on
+// error and cancellation paths. Unsettled samples are not included.
+func (c *Controller) Partial() (sampling.Result, Stats) { return c.res, c.st }
+
+func (c *Controller) needsSample(p *phase.Phase) bool {
+	if c.cfg.DisableConfidence {
+		return p.CPI.N() < c.cfg.MinSamples
+	}
+	return !p.CPI.WithinBound(c.cfg.Eps, c.z, c.cfg.MinSamples)
+}
+
+// settle charges a delivered sample's detailed costs and attributes its
+// CPI to its phase (or discards it under the transition guard).
+func (c *Controller) settle(ps *pendingSample) {
+	ps.settled = true
+	// The detailed ops were spent inside a window already charged as
+	// functional warming; reclassify them.
+	c.res.Costs.FunctionalWarm -= ps.warmOps + ps.sampleOps
+	c.res.Costs.DetailedWarm += ps.warmOps
+	c.res.Costs.Detailed += ps.sampleOps
+	if ps.sampleOps == 0 || math.IsNaN(ps.ipc) || ps.ipc <= 0 {
+		return
+	}
+	if ps.guarded {
+		// The sample straddled a phase transition: discard it. The
+		// detailed ops were still spent (charged above).
+		c.st.GuardedSamples++
+		return
+	}
+	recordSample(ps.phase, 1/ps.ipc, ps.recPos, c.cfg, &c.res, &c.st)
+}
+
+// drain settles every pending sample of phase p, waiting for outstanding
+// measurements; it must run before any decision that reads p's sample
+// statistics.
+func (c *Controller) drain(p *phase.Phase) error {
+	q := c.pending[p.ID]
+	if len(q) == 0 {
+		return nil
+	}
+	for _, ps := range q {
+		<-ps.ready
+		if ps.err != nil {
+			return ps.err
+		}
+		c.settle(ps)
+	}
+	delete(c.pending, p.ID)
+	return nil
+}
+
+// Advance consumes the next fast-forward window: its normalised BBV v, its
+// op count, and the op position at the window's end. It returns a
+// SampleRequest when a detailed sample must execute at the start of the
+// next window, or an error if a previously requested sample failed.
+func (c *Controller) Advance(v bbv.Vector, ops, posAfter uint64) (*SampleRequest, error) {
+	// Adopt the sample scheduled by the previous window: it sat at the
+	// start of this one.
+	adopted := c.inflight
+	c.inflight = nil
+
+	// The whole window is charged as functional warming; settle reassigns
+	// the detailed portion when the sample's measurement arrives.
+	c.res.Costs.FunctionalWarm += ops
+
+	p, _, _ := c.table.Classify(v, ops, c.windowIdx)
+	c.windowIdx++
+
+	if adopted != nil {
+		adopted.recPos = posAfter
+		adopted.guarded = c.cfg.GuardTransitions && p != adopted.phase
+		c.pending[adopted.phase.ID] = append(c.pending[adopted.phase.ID], adopted)
+		c.order = append(c.order, adopted)
+	}
+
+	// Sample statistics of p are read next; settle its pending samples
+	// first so the decision sees exactly what the serial run would.
+	if err := c.drain(p); err != nil {
+		return nil, err
+	}
+
+	// Fig 5 decision chain: within confidence bounds → skip; else the
+	// spread rule must allow another sample of this phase.
+	var req *SampleRequest
+	if c.needsSample(p) {
+		if c.cfg.DisableSpread || !p.HasSample || posAfter-p.LastSampleOp >= c.cfg.SpreadOps {
+			ps := &pendingSample{phase: p, ready: make(chan struct{})}
+			c.inflight = ps
+			req = &SampleRequest{Pos: posAfter, Warm: c.cfg.WarmOps, Sample: c.cfg.SampleOps, ps: ps}
+		} else {
+			c.st.SpreadDeferrals++
+		}
+	} else {
+		c.st.SamplesSkipped++
+	}
+	return req, nil
+}
+
+// Finish settles all outstanding samples, drops the never-executed
+// trailing request (the program ended first), and computes the estimate:
+// whole-program CPI is the ops-weighted mean of per-phase sample-mean
+// CPIs; IPC is its reciprocal. Phases that ended without any sample
+// contribute no estimate; their weight is excluded and reported.
+func (c *Controller) Finish() (sampling.Result, Stats, error) {
+	c.inflight = nil
+	for _, ps := range c.order {
+		if ps.settled {
+			continue
+		}
+		<-ps.ready
+		if ps.err != nil {
+			return c.res, c.st, ps.err
+		}
+		c.settle(ps)
+	}
+	c.table.FinishRun()
+
+	var weightedCPI, totalW float64
+	for _, p := range c.table.Phases() {
+		c.st.PerPhaseSamples = append(c.st.PerPhaseSamples, p.CPI.N())
+		c.st.PhaseDiags = append(c.st.PhaseDiags, PhaseDiag{
+			ID: p.ID, Intervals: p.Intervals, Ops: p.Ops,
+			Samples: p.CPI.N(), MeanCPI: p.CPI.Mean(), CVCPI: p.CPI.CV(),
+		})
+		if p.CPI.N() == 0 {
+			c.st.UnsampledOps += p.Ops
+			continue
+		}
+		weightedCPI += float64(p.Ops) * p.CPI.Mean()
+		totalW += float64(p.Ops)
+	}
+	if totalW > 0 && weightedCPI > 0 {
+		c.res.EstimatedIPC = totalW / weightedCPI
+	}
+	c.res.Phases = c.table.NumPhases()
+	c.st.Phases = c.table.NumPhases()
+	c.st.Transitions = c.table.Transitions
+	c.st.Comparisons = c.table.Comparisons
+
+	// Samples settle in drain order, which may differ from execution
+	// order; positions are unique and strictly increasing in the serial
+	// run, so sorting restores the serial trace exactly.
+	sort.Slice(c.st.SampleTrace, func(i, j int) bool {
+		return c.st.SampleTrace[i].Pos < c.st.SampleTrace[j].Pos
+	})
+	return c.res, c.st, nil
+}

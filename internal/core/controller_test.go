@@ -1,0 +1,179 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"pgss/internal/bbv"
+)
+
+// ctlVec builds a normalised one-hot BBV for controller tests.
+func ctlVec(i int) bbv.Vector {
+	v := make(bbv.Vector, 32)
+	v[i] = 1
+	return v
+}
+
+func ctlConfig() Config {
+	cfg := DefaultConfig(10)
+	cfg.FFOps = 10_000
+	cfg.SpreadOps = 10_000
+	return cfg
+}
+
+// TestControllerAsyncResolution: a sample resolved from another goroutine
+// after later windows have been consumed still lands in its phase, and
+// Finish waits for it.
+func TestControllerAsyncResolution(t *testing.T) {
+	cfg := ctlConfig()
+	cfg.Trace = true
+	ctl, err := NewController(cfg, "bench", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := ctl.Advance(ctlVec(0), cfg.FFOps, cfg.FFOps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req == nil {
+		t.Fatal("first window of a new phase scheduled no sample")
+	}
+	// Resolve late, from another goroutine, while the decision walk visits
+	// a different phase (whose decisions don't depend on the sample).
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		req.Resolve(2.0, req.Warm, req.Sample)
+	}()
+	if _, err := ctl.Advance(ctlVec(1), cfg.FFOps, 2*cfg.FFOps); err != nil {
+		t.Fatal(err)
+	}
+	res, st, err := ctl.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != 1 || st.SamplesTaken != 1 {
+		t.Fatalf("async sample not recorded: %+v", st)
+	}
+	if len(st.SampleTrace) != 1 || st.SampleTrace[0].CPI != 0.5 {
+		t.Fatalf("trace %+v, want one sample at CPI 0.5", st.SampleTrace)
+	}
+	if res.Costs.Detailed != cfg.SampleOps || res.Costs.DetailedWarm != cfg.WarmOps {
+		t.Errorf("detailed costs %+v not transferred on settle", res.Costs)
+	}
+	if res.Costs.Total() != 2*cfg.FFOps {
+		t.Errorf("ledger %d, want %d", res.Costs.Total(), 2*cfg.FFOps)
+	}
+}
+
+// TestControllerTrailingRequestDropped: a sample scheduled by the final
+// window is never executed; Finish must not block on it.
+func TestControllerTrailingRequestDropped(t *testing.T) {
+	cfg := ctlConfig()
+	ctl, err := NewController(cfg, "bench", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := ctl.Advance(ctlVec(0), cfg.FFOps, cfg.FFOps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req == nil {
+		t.Fatal("no sample scheduled")
+	}
+	// Never resolve req: the program ended. Finish must return regardless.
+	res, st, err := ctl.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != 0 || st.SamplesTaken != 0 {
+		t.Errorf("unexecuted trailing sample was recorded: %+v", st)
+	}
+	if res.Costs.Detailed != 0 || res.Costs.FunctionalWarm != cfg.FFOps {
+		t.Errorf("costs %+v, want all functional", res.Costs)
+	}
+}
+
+// TestControllerFailPropagates: a failed sample surfaces from the next
+// decision touching its phase (or Finish), with the partial ledger intact.
+func TestControllerFailPropagates(t *testing.T) {
+	cfg := ctlConfig()
+	ctl, err := NewController(cfg, "bench", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := ctl.Advance(ctlVec(0), cfg.FFOps, cfg.FFOps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	req.Fail(boom)
+	// The same phase recurs: its drain must surface the failure.
+	_, err = ctl.Advance(ctlVec(0), cfg.FFOps, 2*cfg.FFOps)
+	if !errors.Is(err, boom) {
+		t.Fatalf("drain returned %v, want boom", err)
+	}
+	res, _ := ctl.Partial()
+	if res.Costs.Total() != 2*cfg.FFOps {
+		t.Errorf("partial ledger %d, want %d", res.Costs.Total(), 2*cfg.FFOps)
+	}
+}
+
+// TestControllerInvalidSampleChargesNothing: an unmeasurable sample
+// (NaN IPC, zero detailed ops) skips both the record and the transfer.
+func TestControllerInvalidSampleChargesNothing(t *testing.T) {
+	cfg := ctlConfig()
+	ctl, err := NewController(cfg, "bench", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := ctl.Advance(ctlVec(0), cfg.FFOps, cfg.FFOps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Resolve(math.NaN(), 0, 0)
+	if _, err := ctl.Advance(ctlVec(0), cfg.FFOps, 2*cfg.FFOps); err != nil {
+		t.Fatal(err)
+	}
+	res, st, err := ctl.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != 0 || st.SamplesTaken != 0 {
+		t.Errorf("invalid sample recorded: %+v", st)
+	}
+	if res.Costs.Detailed != 0 || res.Costs.DetailedWarm != 0 {
+		t.Errorf("invalid sample charged detailed costs: %+v", res.Costs)
+	}
+}
+
+// TestControllerGuardDiscardsCrossPhaseSample: under GuardTransitions a
+// sample whose window classifies into a different phase is discarded.
+func TestControllerGuardDiscardsCrossPhaseSample(t *testing.T) {
+	cfg := ctlConfig()
+	cfg.GuardTransitions = true
+	ctl, err := NewController(cfg, "bench", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := ctl.Advance(ctlVec(0), cfg.FFOps, cfg.FFOps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Resolve(1.5, req.Warm, req.Sample)
+	// The sample's window belongs to a different phase → guarded.
+	if _, err := ctl.Advance(ctlVec(1), cfg.FFOps, 2*cfg.FFOps); err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := ctl.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GuardedSamples != 1 {
+		t.Errorf("GuardedSamples = %d, want 1", st.GuardedSamples)
+	}
+	if st.SamplesTaken != 0 {
+		t.Errorf("guarded sample recorded: %+v", st)
+	}
+}

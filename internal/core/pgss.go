@@ -24,12 +24,10 @@ package core
 import (
 	"context"
 	"fmt"
-	"math"
 
 	"pgss/internal/pgsserrors"
 	"pgss/internal/phase"
 	"pgss/internal/sampling"
-	"pgss/internal/stats"
 )
 
 // Config parameterises PGSS-Sim. The paper's defaults (at scale 1) are
@@ -177,124 +175,46 @@ func Run(t sampling.Target, cfg Config) (sampling.Result, Stats, error) {
 // cancellation: the context is polled once per fast-forward window, and a
 // cancelled or expired context aborts the run with an
 // ErrBudgetExceeded-classed error carrying the partial cost ledger.
+//
+// The decision logic lives in Controller, shared with the parallel engine
+// (package parallel); here every SampleRequest is resolved synchronously
+// from the window the target just delivered.
 func RunContext(ctx context.Context, t sampling.Target, cfg Config) (sampling.Result, Stats, error) {
-	if err := cfg.Validate(); err != nil {
+	ctl, err := NewController(cfg, t.Benchmark(), t.TrueIPC())
+	if err != nil {
 		return sampling.Result{}, Stats{}, err
 	}
-	res := sampling.Result{
-		Technique: "PGSS",
-		Config:    cfg.String(),
-		Benchmark: t.Benchmark(),
-		TrueIPC:   t.TrueIPC(),
-	}
-	var st Stats
-
-	table := phase.MustNewTable(cfg.ThresholdPi * math.Pi)
-	table.CheckCurrentFirst = !cfg.NoCurrentFirst
-	table.Manhattan = cfg.Manhattan
-
-	z := stats.ConfidenceZ(cfg.Confidence)
-	needsSample := func(p *phase.Phase) bool {
-		if cfg.DisableConfidence {
-			return p.CPI.N() < cfg.MinSamples
-		}
-		return !p.CPI.WithinBound(cfg.Eps, z, cfg.MinSamples)
-	}
-
-	// scheduled is the phase the pending sample (taken at the start of the
-	// next window) will be attributed to.
-	var scheduled *phase.Phase
-	windowIdx := 0
+	// req is the sample request scheduled by the previous window; it
+	// executes at the start of the window requested next.
+	var req *SampleRequest
 	for {
 		if err := ctx.Err(); err != nil {
+			res, st := ctl.Partial()
 			return res, st, fmt.Errorf("pgss: %s cancelled after %d windows: %w (%w)",
-				res.Benchmark, windowIdx, pgsserrors.ErrBudgetExceeded, err)
+				res.Benchmark, ctl.Windows(), pgsserrors.ErrBudgetExceeded, err)
 		}
 		var warm, sample uint64
-		if scheduled != nil {
-			warm, sample = cfg.WarmOps, cfg.SampleOps
+		if req != nil {
+			warm, sample = req.Warm, req.Sample
 		}
 		w, ok := t.NextWindow(cfg.FFOps, warm, sample)
 		if !ok {
 			break
 		}
-		res.Costs.Detailed += w.SampleOps
-		res.Costs.DetailedWarm += w.WarmOps
-		res.Costs.FunctionalWarm += w.Ops - w.SampleOps - w.WarmOps
-
-		// A valid sample is normally attributed to the phase that
-		// scheduled it before the window is classified (the paper's Fig 5
-		// order). With the transition guard, attribution waits for the
-		// classification of the window the sample physically sits in.
-		var pendingCPI float64
-		pendingPhase := scheduled
-		if scheduled != nil {
-			if !math.IsNaN(w.SampleIPC) && w.SampleIPC > 0 {
-				pendingCPI = 1 / w.SampleIPC
-				if !cfg.GuardTransitions {
-					recordSample(scheduled, pendingCPI, t.Pos(), cfg, &res, &st)
-					pendingCPI = 0
-				}
-			}
-			scheduled = nil
+		if req != nil {
+			req.Resolve(w.SampleIPC, w.WarmOps, w.SampleOps)
 		}
-
-		p, _, _ := table.Classify(w.BBV, w.Ops, windowIdx)
-		windowIdx++
-
-		if pendingCPI > 0 {
-			if p == pendingPhase {
-				recordSample(pendingPhase, pendingCPI, t.Pos(), cfg, &res, &st)
-			} else {
-				// The sample straddled a phase transition: discard it. The
-				// detailed ops were still spent (already charged above).
-				st.GuardedSamples++
-			}
-		}
-
-		// Fig 5 decision chain: within confidence bounds → skip; else the
-		// spread rule must allow another sample of this phase.
-		if needsSample(p) {
-			if cfg.DisableSpread || !p.HasSample || t.Pos()-p.LastSampleOp >= cfg.SpreadOps {
-				scheduled = p
-			} else {
-				st.SpreadDeferrals++
-			}
-		} else {
-			st.SamplesSkipped++
+		req, err = ctl.Advance(w.BBV, w.Ops, t.Pos())
+		if err != nil {
+			res, st := ctl.Partial()
+			return res, st, err
 		}
 	}
 	if err := t.Err(); err != nil {
+		res, st := ctl.Partial()
 		return res, st, err
 	}
-	table.FinishRun()
-
-	// Estimate: whole-program CPI is the ops-weighted mean of per-phase
-	// sample-mean CPIs; IPC is its reciprocal. Phases that ended without
-	// any sample (the program ran out first) contribute no estimate; their
-	// weight is excluded and reported.
-	var weightedCPI, totalW float64
-	for _, p := range table.Phases() {
-		st.PerPhaseSamples = append(st.PerPhaseSamples, p.CPI.N())
-		st.PhaseDiags = append(st.PhaseDiags, PhaseDiag{
-			ID: p.ID, Intervals: p.Intervals, Ops: p.Ops,
-			Samples: p.CPI.N(), MeanCPI: p.CPI.Mean(), CVCPI: p.CPI.CV(),
-		})
-		if p.CPI.N() == 0 {
-			st.UnsampledOps += p.Ops
-			continue
-		}
-		weightedCPI += float64(p.Ops) * p.CPI.Mean()
-		totalW += float64(p.Ops)
-	}
-	if totalW > 0 && weightedCPI > 0 {
-		res.EstimatedIPC = totalW / weightedCPI
-	}
-	res.Phases = table.NumPhases()
-	st.Phases = table.NumPhases()
-	st.Transitions = table.Transitions
-	st.Comparisons = table.Comparisons
-	return res, st, nil
+	return ctl.Finish()
 }
 
 // Sweep runs PGSS over every (FF period, threshold) combination of the

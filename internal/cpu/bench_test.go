@@ -1,0 +1,75 @@
+package cpu_test
+
+import (
+	"testing"
+
+	"pgss/internal/cpu"
+	"pgss/internal/program"
+	"pgss/internal/workload"
+)
+
+// benchProgram builds one long benchmark program, shared across
+// benchmarks (programs are immutable; every core gets its own machine).
+func benchProgram(b *testing.B) *program.Program {
+	b.Helper()
+	spec, err := workload.Get("188.ammp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := spec.Build(20_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog
+}
+
+func benchCore(b *testing.B, cfg cpu.CoreConfig) *cpu.Core {
+	b.Helper()
+	c, err := cpu.NewCore(cpu.MustNewMachine(benchProgram(b)), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// stepLoop drives one step function b.N times, rebuilding the core when
+// the program runs out (rare: the program is 20M ops long).
+func stepLoop(b *testing.B, cfg cpu.CoreConfig, step func(c *cpu.Core, r *cpu.Retired) bool) {
+	c := benchCore(b, cfg)
+	var r cpu.Retired
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !step(c, &r) {
+			b.StopTimer()
+			c = benchCore(b, cfg)
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkCoreStepDetailed measures the detailed (cycle-accurate in-order
+// scoreboard) retire loop — the cost unit of every sample op.
+func BenchmarkCoreStepDetailed(b *testing.B) {
+	stepLoop(b, cpu.DefaultCoreConfig(), (*cpu.Core).StepDetailed)
+}
+
+// BenchmarkCoreStepDetailedOoO measures the out-of-order model's retire
+// loop.
+func BenchmarkCoreStepDetailedOoO(b *testing.B) {
+	cfg := cpu.DefaultCoreConfig()
+	cfg.Timing.Model = "ooo"
+	stepLoop(b, cfg, (*cpu.Core).StepDetailed)
+}
+
+// BenchmarkCoreStepWarm measures the functional-warming loop — the cost
+// unit of fast-forwarding, the bulk of every PGSS run.
+func BenchmarkCoreStepWarm(b *testing.B) {
+	stepLoop(b, cpu.DefaultCoreConfig(), (*cpu.Core).StepWarm)
+}
+
+// BenchmarkCoreStepFF measures the plain fast-forward loop (SimPoint-style
+// no-warming skip).
+func BenchmarkCoreStepFF(b *testing.B) {
+	stepLoop(b, cpu.DefaultCoreConfig(), (*cpu.Core).StepFF)
+}

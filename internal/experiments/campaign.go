@@ -6,6 +6,7 @@ import (
 
 	"pgss/internal/campaign"
 	"pgss/internal/core"
+	"pgss/internal/parallel"
 	"pgss/internal/pgsserrors"
 	"pgss/internal/sampling"
 )
@@ -45,6 +46,11 @@ func (s *Suite) CampaignRun(ctx context.Context, sp campaign.Spec) (sampling.Res
 	scale := s.Scale()
 	switch sp.Technique {
 	case "PGSS":
+		if s.opts.Shards > 1 || s.opts.SampleWorkers > 1 {
+			res, _, err := parallel.Run(ctx, parallel.NewProfileSource(p), core.DefaultConfig(scale),
+				parallel.Options{Shards: s.opts.Shards, SampleWorkers: s.opts.SampleWorkers})
+			return res, err
+		}
 		res, _, err := core.RunContext(ctx, sampling.NewProfileTarget(p), core.DefaultConfig(scale))
 		return res, err
 	case "PGSS-Adaptive":

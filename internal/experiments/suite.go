@@ -43,6 +43,11 @@ type Options struct {
 	Quiet bool
 	// Jobs bounds parallel profile recording (0 = GOMAXPROCS).
 	Jobs int
+	// Shards and SampleWorkers enable the checkpoint-sharded parallel
+	// engine for PGSS campaign runs when either exceeds 1; results are
+	// bit-identical to serial execution (see internal/parallel).
+	Shards        int
+	SampleWorkers int
 	// Context, when set, cancels in-flight recording and simulation
 	// cooperatively (SIGINT handling in the CLIs).
 	Context context.Context

@@ -1,0 +1,224 @@
+// Package parallel executes one PGSS-Sim run with shard-parallel
+// fast-forwarding and a worker pool for detailed samples, producing results
+// bit-identical to the serial controller.
+//
+// The engine splits the run into two stages:
+//
+//  1. Window precomputation. The instruction stream is cut into
+//     checkpoint-anchored shards of consecutive fast-forward windows; each
+//     shard computes its windows' BBVs concurrently. For a recorded profile
+//     this sums the stored raw vectors; for a live simulator it restores the
+//     nearest checkpoint with functional warming and replays forward
+//     (bit-identical restore makes the per-window retire streams — and hence
+//     the BBVs — independent of the shard layout).
+//
+//  2. Decision walk. A single goroutine drives the shared core.Controller
+//     over the windows in program order; this is what makes the result
+//     deterministic. Detailed samples the controller schedules are dispatched
+//     to a pool of sample workers and settle lazily: the controller waits for
+//     a sample's measurement only at the first decision that depends on it,
+//     so sample execution overlaps the decision walk and other samples.
+//
+// Because the controller is the same object the serial loop drives, and
+// because it settles pending samples in execution order before every
+// decision that reads them, a parallel run returns exactly the
+// sampling.Result and core.Stats of core.Run on the same source — verified
+// by tests, not just asserted.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"pgss/internal/core"
+	"pgss/internal/pgsserrors"
+	"pgss/internal/sampling"
+)
+
+// Options sets the engine's concurrency. Both fields default to GOMAXPROCS
+// when zero or negative; Shards=1 with SampleWorkers=1 reproduces the
+// serial schedule on a single extra goroutine.
+type Options struct {
+	// Shards is the number of concurrent fast-forward shards computing
+	// window BBVs.
+	Shards int
+	// SampleWorkers is the number of concurrent detailed-sample executors.
+	SampleWorkers int
+}
+
+func (o Options) normalized() Options {
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.SampleWorkers <= 0 {
+		o.SampleWorkers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// numWindows returns how many fast-forward windows cover total ops.
+func numWindows(total, ffOps uint64) int {
+	return int((total + ffOps - 1) / ffOps)
+}
+
+// Run executes one PGSS run over src with the given configuration and
+// concurrency. Cancellation, partial results and error classes match
+// core.RunContext.
+func Run(ctx context.Context, src Source, cfg core.Config, opts Options) (sampling.Result, core.Stats, error) {
+	opts = opts.normalized()
+	ctl, err := core.NewController(cfg, src.Benchmark(), src.TrueIPC())
+	if err != nil {
+		return sampling.Result{}, core.Stats{}, err
+	}
+	total := src.TotalOps()
+	n := numWindows(total, cfg.FFOps)
+	if n == 0 {
+		return ctl.Finish()
+	}
+
+	// Stage 1: shard-parallel window precomputation.
+	wins := make([]Window, n)
+	if err := precompute(ctx, src, cfg.FFOps, wins, opts.Shards); err != nil {
+		res, st := ctl.Partial()
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return res, st, cancelErr(res.Benchmark, ctl.Windows(), ctxErr)
+		}
+		return res, st, err
+	}
+
+	// Stage 2: serial decision walk with asynchronous sample execution.
+	pool, err := newSamplePool(src, opts.SampleWorkers)
+	if err != nil {
+		res, st := ctl.Partial()
+		return res, st, err
+	}
+	// The pool drains (and harmlessly resolves) any queued requests on
+	// every exit path, so no goroutine is left blocked.
+	defer pool.close()
+
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			res, st := ctl.Partial()
+			return res, st, cancelErr(res.Benchmark, ctl.Windows(), err)
+		}
+		posAfter := uint64(i+1) * cfg.FFOps
+		if posAfter > total {
+			posAfter = total
+		}
+		req, err := ctl.Advance(wins[i].BBV, wins[i].Ops, posAfter)
+		if err != nil {
+			res, st := ctl.Partial()
+			return res, st, err
+		}
+		if req == nil {
+			continue
+		}
+		switch {
+		case i+1 >= n:
+			// The program ends before the sample's window begins; the
+			// serial loop never executes this trailing request either
+			// (Finish drops it unadopted).
+		case req.Warm+req.Sample > wins[i+1].Ops:
+			// The sample does not fit in the (short, final) next window:
+			// nothing is measured, the ops stay functional — serial
+			// semantics for an unexecutable sample.
+			req.Resolve(math.NaN(), 0, 0)
+		default:
+			pool.submit(req)
+		}
+	}
+	return ctl.Finish()
+}
+
+func cancelErr(benchmark string, windows int, err error) error {
+	return fmt.Errorf("pgss: %s cancelled after %d windows: %w (%w)",
+		benchmark, windows, pgsserrors.ErrBudgetExceeded, err)
+}
+
+// precompute fills wins with the run's windows, splitting the work into up
+// to `shards` contiguous ranges computed concurrently.
+func precompute(ctx context.Context, src Source, ffOps uint64, wins []Window, shards int) error {
+	n := len(wins)
+	if shards > n {
+		shards = n
+	}
+	if shards <= 1 {
+		return src.Windows(ctx, ffOps, 0, wins)
+	}
+	per := (n + shards - 1) / shards
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		lo := s * per
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			errs[s] = src.Windows(ctx, ffOps, lo, wins[lo:hi])
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// samplePool executes detailed samples on a fixed set of workers, each
+// owning one Sampler (and therefore, for live sources, one simulator core).
+type samplePool struct {
+	jobs chan *core.SampleRequest
+	wg   sync.WaitGroup
+}
+
+func newSamplePool(src Source, workers int) (*samplePool, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &samplePool{jobs: make(chan *core.SampleRequest, workers)}
+	for w := 0; w < workers; w++ {
+		s, err := src.NewSampler()
+		if err != nil {
+			p.close()
+			return nil, err
+		}
+		p.wg.Add(1)
+		go func(s Sampler) {
+			defer p.wg.Done()
+			for req := range p.jobs {
+				ipc, err := s.Sample(req.Pos, req.Warm, req.Sample)
+				switch {
+				case err != nil:
+					req.Fail(err)
+				case ipc > 0:
+					req.Resolve(ipc, req.Warm, req.Sample)
+				default:
+					// Unmeasurable window (zero recorded cycles): charge
+					// nothing, record nothing — serial semantics.
+					req.Resolve(math.NaN(), 0, 0)
+				}
+			}
+		}(s)
+	}
+	return p, nil
+}
+
+func (p *samplePool) submit(req *core.SampleRequest) { p.jobs <- req }
+
+// close stops accepting work, lets the workers drain the queue (resolving
+// every queued request) and waits for them to exit.
+func (p *samplePool) close() {
+	close(p.jobs)
+	p.wg.Wait()
+}

@@ -1,0 +1,274 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"pgss/internal/bbv"
+	"pgss/internal/checkpoint"
+	"pgss/internal/core"
+	"pgss/internal/cpu"
+	"pgss/internal/pgsserrors"
+	"pgss/internal/profile"
+	"pgss/internal/sampling"
+	"pgss/internal/workload"
+)
+
+var profileCache = map[string]*profile.Profile{}
+
+func suiteProfile(t *testing.T, name string, ops uint64) *profile.Profile {
+	t.Helper()
+	key := fmt.Sprintf("%s/%d", name, ops)
+	if p, ok := profileCache[key]; ok {
+		return p
+	}
+	spec, err := workload.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := spec.Build(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cpu.NewCore(cpu.MustNewMachine(prog), cpu.DefaultCoreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := profile.Record(c, bbv.MustNewHash(5, 42), profile.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	profileCache[key] = p
+	return p
+}
+
+func testConfig() core.Config {
+	cfg := core.DefaultConfig(10)
+	cfg.FFOps = 50_000
+	cfg.SpreadOps = 50_000
+	return cfg
+}
+
+// TestProfileParallelMatchesSerial is the tentpole guarantee: the parallel
+// engine over a profile returns exactly the Result and Stats of the serial
+// controller, including the sample trace, for every concurrency setting
+// and for ablation variants that change the decision chain.
+func TestProfileParallelMatchesSerial(t *testing.T) {
+	p := suiteProfile(t, "188.ammp", 10_000_000)
+
+	configs := map[string]core.Config{
+		"default": testConfig(),
+		"guarded": func() core.Config {
+			c := testConfig()
+			c.GuardTransitions = true
+			return c
+		}(),
+		"traced": func() core.Config {
+			c := testConfig()
+			c.Trace = true
+			return c
+		}(),
+		"nospread": func() core.Config {
+			c := testConfig()
+			c.DisableSpread = true
+			return c
+		}(),
+	}
+	for name, cfg := range configs {
+		t.Run(name, func(t *testing.T) {
+			wantRes, wantSt, err := core.Run(sampling.NewProfileTarget(p), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, opts := range []Options{
+				{Shards: 1, SampleWorkers: 1},
+				{Shards: 4, SampleWorkers: 4},
+				{Shards: 7, SampleWorkers: 3},
+			} {
+				res, st, err := Run(context.Background(), NewProfileSource(p), cfg, opts)
+				if err != nil {
+					t.Fatalf("%+v: %v", opts, err)
+				}
+				if !reflect.DeepEqual(res, wantRes) {
+					t.Errorf("%+v: Result diverged from serial:\n got %+v\nwant %+v", opts, res, wantRes)
+				}
+				if !reflect.DeepEqual(st, wantSt) {
+					t.Errorf("%+v: Stats diverged from serial:\n got %+v\nwant %+v", opts, st, wantSt)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelDeterministicAcrossRuns: repeated parallel runs are
+// bit-identical to each other (no scheduling-dependent drift).
+func TestParallelDeterministicAcrossRuns(t *testing.T) {
+	p := suiteProfile(t, "164.gzip", 5_000_000)
+	cfg := testConfig()
+	cfg.Trace = true
+	opts := Options{Shards: 4, SampleWorkers: 4}
+	res1, st1, err := Run(context.Background(), NewProfileSource(p), cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		res2, st2, err := Run(context.Background(), NewProfileSource(p), cfg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res1, res2) || !reflect.DeepEqual(st1, st2) {
+			t.Fatalf("run %d diverged: %+v vs %+v", i, res2, res1)
+		}
+	}
+}
+
+func liveSource(t *testing.T, name string, ops, stride uint64) *LiveSource {
+	t.Helper()
+	spec, err := workload.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := spec.Build(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newCore := func() (*cpu.Core, error) {
+		return cpu.NewCore(cpu.MustNewMachine(prog), cpu.DefaultCoreConfig())
+	}
+	rec, err := newCore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := checkpoint.Record(rec, stride, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewLiveSource(lib, bbv.MustNewHash(5, 42), newCore, rec.M.Retired(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+// TestLiveShardLayoutInvariant: a live (checkpoint-driven) run returns the
+// same result whatever the shard count and worker count — the engine-level
+// determinism guarantee for live sources.
+func TestLiveShardLayoutInvariant(t *testing.T) {
+	src := liveSource(t, "197.parser", 600_000, 50_000)
+	cfg := testConfig()
+	cfg.FFOps = 20_000
+	cfg.SpreadOps = 20_000
+	cfg.Trace = true
+
+	ref, refSt, err := Run(context.Background(), src, cfg, Options{Shards: 1, SampleWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Samples == 0 {
+		t.Fatal("live run took no samples — the invariance test would be vacuous")
+	}
+	for _, opts := range []Options{
+		{Shards: 4, SampleWorkers: 4},
+		{Shards: 3, SampleWorkers: 2},
+	} {
+		res, st, err := Run(context.Background(), src, cfg, opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if !reflect.DeepEqual(res, ref) {
+			t.Errorf("%+v: live Result diverged:\n got %+v\nwant %+v", opts, res, ref)
+		}
+		if !reflect.DeepEqual(st, refSt) {
+			t.Errorf("%+v: live Stats diverged:\n got %+v\nwant %+v", opts, st, refSt)
+		}
+	}
+}
+
+// TestWorkerPoolRace floods a wide worker pool from a wide shard fan-out;
+// run under -race this exercises the pending-sample settlement protocol.
+func TestWorkerPoolRace(t *testing.T) {
+	p := suiteProfile(t, "164.gzip", 5_000_000)
+	cfg := testConfig()
+	cfg.FFOps = 10_000
+	cfg.SpreadOps = 10_000
+	res, _, err := Run(context.Background(), NewProfileSource(p), cfg, Options{Shards: 8, SampleWorkers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples == 0 {
+		t.Error("no samples taken")
+	}
+}
+
+// TestCancellation: a cancelled context aborts with the serial error shape
+// (ErrBudgetExceeded class, partial ledger) and leaks no goroutines
+// blocked on unresolved samples.
+func TestCancellation(t *testing.T) {
+	p := suiteProfile(t, "164.gzip", 5_000_000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := Run(ctx, NewProfileSource(p), testConfig(), Options{Shards: 4, SampleWorkers: 4})
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if !errors.Is(err, pgsserrors.ErrBudgetExceeded) {
+		t.Errorf("cancellation error %v not classed ErrBudgetExceeded", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancellation error %v does not wrap context.Canceled", err)
+	}
+}
+
+// failingSource injects a sampler failure to verify the error surfaces
+// from the decision walk instead of hanging the pool.
+type failingSource struct {
+	*ProfileSource
+	after int
+}
+
+type failingSampler struct {
+	inner Sampler
+	n     *int
+	after int
+}
+
+func (s *failingSource) NewSampler() (Sampler, error) {
+	inner, err := s.ProfileSource.NewSampler()
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	return &failingSampler{inner: inner, n: &n, after: s.after}, nil
+}
+
+func (s *failingSampler) Sample(pos, warm, sample uint64) (float64, error) {
+	*s.n++
+	if *s.n > s.after {
+		return 0, errors.New("injected sampler failure")
+	}
+	return s.inner.Sample(pos, warm, sample)
+}
+
+func TestSamplerErrorPropagates(t *testing.T) {
+	p := suiteProfile(t, "164.gzip", 5_000_000)
+	src := &failingSource{ProfileSource: NewProfileSource(p), after: 2}
+	_, _, err := Run(context.Background(), src, testConfig(), Options{Shards: 2, SampleWorkers: 1})
+	if err == nil || err.Error() != "injected sampler failure" {
+		t.Fatalf("injected failure did not surface: %v", err)
+	}
+}
+
+// TestMisalignedConfigSurfaces: a window size that is not a multiple of
+// the profile granularity must fail with the serial error class.
+func TestMisalignedConfigSurfaces(t *testing.T) {
+	p := suiteProfile(t, "164.gzip", 5_000_000)
+	cfg := testConfig()
+	cfg.FFOps = 12_345
+	_, _, err := Run(context.Background(), NewProfileSource(p), cfg, Options{Shards: 2, SampleWorkers: 2})
+	if !errors.Is(err, pgsserrors.ErrMisalignedWindow) {
+		t.Fatalf("misaligned window error class: %v", err)
+	}
+}

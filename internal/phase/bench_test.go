@@ -1,0 +1,51 @@
+package phase
+
+import (
+	"math"
+	"testing"
+
+	"pgss/internal/bbv"
+)
+
+// benchSeries builds a window stream cycling through k distinct phase
+// signatures with small per-window jitter, mimicking a phased benchmark.
+func benchSeries(k, n int) []bbv.Vector {
+	out := make([]bbv.Vector, n)
+	for i := range out {
+		v := make(bbv.Vector, 32)
+		base := (i / 16) % k // 16-window stays per phase
+		for j := range v {
+			v[j] = 0.01
+		}
+		v[base*3] = 1
+		v[base*3+1] = 0.5 + 0.001*float64(i%16)
+		out[i] = v.Normalize()
+	}
+	return out
+}
+
+// BenchmarkClassify measures the steady-state classification cost per
+// window (current-phase check first, occasional table scans on
+// transitions) with the in-place centroid refresh.
+func BenchmarkClassify(b *testing.B) {
+	series := benchSeries(6, 4096)
+	tab := MustNewTable(0.05 * math.Pi)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Classify(series[i%len(series)], 10_000, i)
+	}
+}
+
+// BenchmarkClassifyNoCurrentFirst quantifies the paper's
+// check-current-phase-first optimisation by disabling it.
+func BenchmarkClassifyNoCurrentFirst(b *testing.B) {
+	series := benchSeries(6, 4096)
+	tab := MustNewTable(0.05 * math.Pi)
+	tab.CheckCurrentFirst = false
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Classify(series[i%len(series)], 10_000, i)
+	}
+}

@@ -42,14 +42,19 @@ type Phase struct {
 	FirstIntervalIndex int
 }
 
-// absorb adds a member BBV into the phase signature.
+// absorb adds a member BBV into the phase signature. Centroid is a
+// persistent buffer refreshed in place (copy + normalise computes exactly
+// the same floats as cloning), so the classification hot loop allocates
+// nothing after a phase's first window.
 func (p *Phase) absorb(v bbv.Vector, ops uint64) {
 	if p.sum == nil {
 		p.sum = v.Clone()
+		p.Centroid = make(bbv.Vector, len(v))
 	} else {
 		p.sum.Add(v)
 	}
-	p.Centroid = p.sum.Clone().Normalize()
+	copy(p.Centroid, p.sum)
+	p.Centroid.Normalize()
 	p.Intervals++
 	p.Ops += ops
 }

@@ -19,6 +19,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"pgss/internal/bbv"
 	"pgss/internal/cpu"
@@ -71,8 +72,11 @@ type Profile struct {
 	// RawBBVs[j] is the unnormalised BBV of BBV interval j.
 	RawBBVs []bbv.Vector
 
-	// prefix[i] = sum of Cycles[0:i]; built lazily.
-	prefix []uint64
+	// prefix[i] = sum of Cycles[0:i]; built lazily, at most once
+	// (prefixOnce makes concurrent window reads safe — the parallel
+	// engine's sample workers share one profile).
+	prefix     []uint64
+	prefixOnce sync.Once
 }
 
 // Record runs core in detailed mode to completion (or cfg.MaxOps) and
@@ -165,13 +169,12 @@ func (p *Profile) fineOpsAt(i int) uint64 {
 }
 
 func (p *Profile) buildPrefix() {
-	if p.prefix != nil {
-		return
-	}
-	p.prefix = make([]uint64, len(p.Cycles)+1)
-	for i, c := range p.Cycles {
-		p.prefix[i+1] = p.prefix[i] + uint64(c)
-	}
+	p.prefixOnce.Do(func() {
+		p.prefix = make([]uint64, len(p.Cycles)+1)
+		for i, c := range p.Cycles {
+			p.prefix[i+1] = p.prefix[i] + uint64(c)
+		}
+	})
 }
 
 // CyclesWindow returns the cycle cost and op count of the window starting
@@ -236,24 +239,43 @@ func (p *Profile) IPCSeries(gran uint64) ([]float64, error) {
 // BBVOps), clipped at the end of the program. A window past the end of the
 // program returns (nil, nil).
 func (p *Profile) BBVWindow(start, ops uint64) (bbv.Vector, error) {
+	var dst bbv.Vector
+	if len(p.RawBBVs) > 0 {
+		dst = make(bbv.Vector, len(p.RawBBVs[0]))
+	}
+	ok, err := p.BBVWindowInto(dst, start, ops)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	return dst, nil
+}
+
+// BBVWindowInto is BBVWindow into a caller-owned buffer of length
+// 1<<HashBits, avoiding the per-window allocation on hot replay loops. It
+// reports ok=false for a window past the end of the program (dst is then
+// unchanged). Safe for concurrent use with distinct buffers.
+func (p *Profile) BBVWindowInto(dst bbv.Vector, start, ops uint64) (bool, error) {
 	if start%p.BBVOps != 0 || ops%p.BBVOps != 0 {
-		return nil, pgsserrors.Misalignedf(
+		return false, pgsserrors.Misalignedf(
 			"profile: BBV window start=%d ops=%d not multiples of BBV granularity %d", start, ops, p.BBVOps)
 	}
 	j0 := int(start / p.BBVOps)
 	n := int(ops / p.BBVOps)
 	if j0 >= len(p.RawBBVs) {
-		return nil, nil
+		return false, nil
 	}
 	j1 := j0 + n
 	if j1 > len(p.RawBBVs) {
 		j1 = len(p.RawBBVs)
 	}
-	v := p.RawBBVs[j0].Clone()
+	copy(dst, p.RawBBVs[j0])
 	for j := j0 + 1; j < j1; j++ {
-		v.Add(p.RawBBVs[j])
+		dst.Add(p.RawBBVs[j])
 	}
-	return v, nil
+	return true, nil
 }
 
 // BBVSeries returns normalised BBVs of consecutive windows at the given op

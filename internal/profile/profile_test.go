@@ -300,9 +300,15 @@ func TestCheckIntegrity(t *testing.T) {
 		{"zero ops", func(q *Profile) { q.TotalOps = 0 }},
 	}
 	for _, m := range mutations {
-		q := *p
-		q.Cycles = append([]uint32(nil), p.Cycles...)
-		q.RawBBVs = append([]bbv.Vector(nil), p.RawBBVs...)
+		// Field-wise copy: Profile embeds a sync.Once and must not be
+		// copied as a value.
+		q := Profile{
+			Benchmark: p.Benchmark, HashBits: p.HashBits,
+			FineOps: p.FineOps, BBVOps: p.BBVOps,
+			TotalOps: p.TotalOps, TotalCycles: p.TotalCycles, TailOps: p.TailOps,
+			Cycles:  append([]uint32(nil), p.Cycles...),
+			RawBBVs: append([]bbv.Vector(nil), p.RawBBVs...),
+		}
 		m.mut(&q)
 		if err := q.CheckIntegrity(); !errors.Is(err, pgsserrors.ErrCacheCorrupt) {
 			t.Errorf("%s: got %v, want ErrCacheCorrupt", m.name, err)

@@ -1,0 +1,54 @@
+package sampling
+
+import (
+	"testing"
+
+	"pgss/internal/bbv"
+	"pgss/internal/profile"
+)
+
+// benchProfile builds a structurally valid synthetic profile for replay
+// benchmarks (no simulation).
+func benchProfile(totalOps uint64) *profile.Profile {
+	p := &profile.Profile{
+		Benchmark: "synthetic",
+		HashBits:  5,
+		FineOps:   1000,
+		BBVOps:    10_000,
+		TotalOps:  totalOps,
+	}
+	nFine := int(totalOps / p.FineOps)
+	p.Cycles = make([]uint32, nFine)
+	for i := range p.Cycles {
+		p.Cycles[i] = uint32(1200 + (i%7)*100)
+		p.TotalCycles += uint64(p.Cycles[i])
+	}
+	nBBV := int(totalOps / p.BBVOps)
+	p.RawBBVs = make([]bbv.Vector, nBBV)
+	for j := range p.RawBBVs {
+		v := make(bbv.Vector, 1<<p.HashBits)
+		for k := range v {
+			v[k] = float64((j+k)%11) * 100
+		}
+		p.RawBBVs[j] = v
+	}
+	return p
+}
+
+// BenchmarkProfileTargetNextWindow measures the replay window loop with a
+// detailed sample every window — the per-window cost every controller
+// pays.
+func BenchmarkProfileTargetNextWindow(b *testing.B) {
+	p := benchProfile(10_000_000)
+	t := NewProfileTarget(p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := t.NextWindow(100_000, 3000, 1000); !ok {
+			if t.Err() != nil {
+				b.Fatal(t.Err())
+			}
+			t.Reset()
+		}
+	}
+}

@@ -123,10 +123,15 @@ type Target interface {
 // be multiples of the profile's BBV granularity, and warm-up/sample sizes
 // multiples of its fine granularity; a misaligned request ends the window
 // stream and surfaces through Err.
+//
+// The returned Window's BBV is a scratch buffer owned by the target, valid
+// only until the next NextWindow call.
 type ProfileTarget struct {
 	p   *profile.Profile
 	pos uint64
 	err error
+	// scratch backs the returned Window.BBV, reused across windows.
+	scratch bbv.Vector
 }
 
 // NewProfileTarget wraps p.
@@ -179,15 +184,18 @@ func (t *ProfileTarget) NextWindow(ops, warm, sample uint64) (Window, bool) {
 			warm, sample, t.p.FineOps))
 	}
 	w := Window{SampleIPC: math.NaN()}
-	raw, err := t.p.BBVWindow(t.pos, ops)
+	if t.scratch == nil {
+		t.scratch = make(bbv.Vector, 1<<t.p.HashBits)
+	}
+	ok, err := t.p.BBVWindowInto(t.scratch, t.pos, ops)
 	if err != nil {
 		return t.fail(err)
 	}
-	if raw == nil {
+	if !ok {
 		t.pos = t.p.TotalOps
 		return Window{}, false
 	}
-	w.BBV = raw.Normalize()
+	w.BBV = t.scratch.Normalize()
 	remaining := t.p.TotalOps - t.pos
 	w.Ops = ops
 	if remaining < ops {

@@ -30,6 +30,7 @@ import (
 	"pgss/internal/cmp"
 	"pgss/internal/core"
 	"pgss/internal/cpu"
+	"pgss/internal/parallel"
 	"pgss/internal/pgsserrors"
 	"pgss/internal/profile"
 	"pgss/internal/program"
@@ -225,6 +226,45 @@ func RunPGSSContext(ctx context.Context, p *Profile, cfg PGSSConfig) (Result, PG
 // RunPGSSOnContext is RunPGSSOn under a context.
 func RunPGSSOnContext(ctx context.Context, t Target, cfg PGSSConfig) (Result, PGSSStats, error) {
 	return core.RunContext(ctx, t, cfg)
+}
+
+// ParallelOptions sets the parallel engine's concurrency: Shards
+// concurrent fast-forward shards and SampleWorkers concurrent detailed
+// sample executors (each ≤ 0 defaults to GOMAXPROCS).
+type ParallelOptions = parallel.Options
+
+// RunPGSSParallel runs PGSS over a profile on the checkpoint-sharded
+// parallel engine. The result is bit-identical to RunPGSS on the same
+// profile for every concurrency setting.
+func RunPGSSParallel(p *Profile, cfg PGSSConfig, opts ParallelOptions) (Result, PGSSStats, error) {
+	return parallel.Run(context.Background(), parallel.NewProfileSource(p), cfg, opts)
+}
+
+// RunPGSSParallelContext is RunPGSSParallel under a context.
+func RunPGSSParallelContext(ctx context.Context, p *Profile, cfg PGSSConfig, opts ParallelOptions) (Result, PGSSStats, error) {
+	return parallel.Run(ctx, parallel.NewProfileSource(p), cfg, opts)
+}
+
+// RunPGSSLiveParallel runs PGSS live — shards fast-forward from the
+// checkpoint library concurrently and samples execute detailed simulation
+// on a worker pool of cores. The result is invariant to the concurrency
+// setting; totalOps is the recorded program length the library covers.
+func RunPGSSLiveParallel(ctx context.Context, lib *CheckpointLibrary, prog *Program, cc CoreConfig, totalOps uint64, trueIPC float64, cfg PGSSConfig, opts ParallelOptions) (Result, PGSSStats, error) {
+	hash, err := bbv.NewHash(bbv.DefaultHashBits, defaultHashSeed)
+	if err != nil {
+		return Result{}, PGSSStats{}, err
+	}
+	src, err := parallel.NewLiveSource(lib, hash, func() (*cpu.Core, error) {
+		m, err := cpu.NewMachine(prog)
+		if err != nil {
+			return nil, err
+		}
+		return cpu.NewCore(m, cc)
+	}, totalOps, trueIPC)
+	if err != nil {
+		return Result{}, PGSSStats{}, err
+	}
+	return parallel.Run(ctx, src, cfg, opts)
 }
 
 // DefaultSMARTSConfig returns the paper's SMARTS parameters at the given
