@@ -1,8 +1,14 @@
 GO ?= go
 BENCHTIME ?= 1x
 BENCH_JSON ?= BENCH_pr2.json
+# Statement-coverage floor for `make cover`. Set just under the measured
+# total (70.4% when introduced) so genuine regressions fail while run-to-run
+# jitter in timing-dependent paths does not.
+COVER_FLOOR ?= 68.0
+# Per-target budget for `make fuzz-smoke` (4 targets; CI budgets 60s total).
+FUZZTIME ?= 15s
 
-.PHONY: build test vet fmt-check lint race bench bench-json bench-check ci clean
+.PHONY: build test vet fmt-check lint race bench bench-json bench-check cover fuzz-smoke validate ci clean
 
 build:
 	$(GO) build ./...
@@ -53,7 +59,29 @@ bench-check:
 		| /tmp/pgss-benchdiff -parse -o /tmp/pgss-bench-head.json
 	/tmp/pgss-benchdiff -baseline $(BENCH_JSON) -current /tmp/pgss-bench-head.json -max-regress 15
 
-ci: build vet fmt-check lint test race
+# Statement coverage with a floor: fails when total coverage drops below
+# COVER_FLOOR percent.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' \
+		|| { echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
+
+# Run each native fuzz target for FUZZTIME on top of the committed seed
+# corpus. `go test` allows one -fuzz pattern per invocation, hence four runs.
+fuzz-smoke:
+	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzConfigValidate$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/bbv -run '^$$' -fuzz '^FuzzTrackerStream$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/phase -run '^$$' -fuzz '^FuzzClassify$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/checkpoint -run '^$$' -fuzz '^FuzzCheckpointResume$$' -fuzztime $(FUZZTIME)
+
+# Differential validation: 200 generated cases through oracle, serial,
+# parallel (all layouts) and periodic live runs, all invariants checked.
+validate:
+	$(GO) run ./cmd/pgss-validate -cases 200 -seed 1
+
+ci: build vet fmt-check lint test race validate
 
 clean:
 	$(GO) clean ./...

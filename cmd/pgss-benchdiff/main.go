@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"runtime"
@@ -153,6 +154,15 @@ func runCompare(basePath, curPath string, maxRegress float64) (regressed bool, e
 	if err != nil {
 		return false, err
 	}
+	return compare(base, cur, maxRegress, os.Stdout), nil
+}
+
+// compare diffs two snapshots and reports whether the gate should fail: a
+// ns/op regression beyond maxRegress percent, or a benchmark that exists in
+// the baseline but vanished from the head (a silently deleted or renamed
+// benchmark would otherwise un-gate itself). New head-only benchmarks are
+// fine — they simply have no baseline yet.
+func compare(base, cur Snapshot, maxRegress float64, w io.Writer) (failed bool) {
 	names := make([]string, 0, len(cur.Benchmarks))
 	for name := range cur.Benchmarks {
 		if _, ok := base.Benchmarks[name]; ok {
@@ -160,11 +170,21 @@ func runCompare(basePath, curPath string, maxRegress float64) (regressed bool, e
 		}
 	}
 	sort.Strings(names)
-	if len(names) == 0 {
-		fmt.Println("pgss-benchdiff: no common benchmarks to compare")
-		return false, nil
+	var missing []string
+	for name := range base.Benchmarks {
+		if _, ok := cur.Benchmarks[name]; !ok {
+			missing = append(missing, name)
+		}
 	}
-	fmt.Printf("%-44s %12s %12s %8s\n", "benchmark", "base ns/op", "head ns/op", "delta")
+	sort.Strings(missing)
+	if len(names) == 0 && len(missing) == 0 {
+		fmt.Fprintln(w, "pgss-benchdiff: no common benchmarks to compare")
+		return false
+	}
+	if len(names) > 0 {
+		fmt.Fprintf(w, "%-44s %12s %12s %8s\n", "benchmark", "base ns/op", "head ns/op", "delta")
+	}
+	regressed := false
 	for _, name := range names {
 		b, c := base.Benchmarks[name], cur.Benchmarks[name]
 		if b.NsPerOp <= 0 {
@@ -176,12 +196,21 @@ func runCompare(basePath, curPath string, maxRegress float64) (regressed bool, e
 			mark = "  << REGRESSION"
 			regressed = true
 		}
-		fmt.Printf("%-44s %12.1f %12.1f %+7.1f%%%s\n", name, b.NsPerOp, c.NsPerOp, delta, mark)
+		fmt.Fprintf(w, "%-44s %12.1f %12.1f %+7.1f%%%s\n", name, b.NsPerOp, c.NsPerOp, delta, mark)
+	}
+	for _, name := range missing {
+		fmt.Fprintf(w, "%-44s %12.1f %12s  << MISSING from head snapshot\n",
+			name, base.Benchmarks[name].NsPerOp, "-")
 	}
 	if regressed {
-		fmt.Printf("pgss-benchdiff: ns/op regression beyond %.0f%% detected\n", maxRegress)
+		fmt.Fprintf(w, "pgss-benchdiff: ns/op regression beyond %.0f%% detected\n", maxRegress)
 	}
-	return regressed, nil
+	if len(missing) > 0 {
+		fmt.Fprintf(w, "pgss-benchdiff: %d benchmark(s) present in the baseline are missing from the head snapshot: %v\n",
+			len(missing), missing)
+		fmt.Fprintf(w, "pgss-benchdiff: a deleted or renamed benchmark must update the baseline snapshot, not skip the gate\n")
+	}
+	return regressed || len(missing) > 0
 }
 
 func fatal(err error) {

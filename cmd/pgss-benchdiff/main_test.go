@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func snap(benchmarks map[string]float64) Snapshot {
+	s := Snapshot{Schema: 1, Benchmarks: map[string]BenchStat{}}
+	for name, ns := range benchmarks {
+		s.Benchmarks[name] = BenchStat{NsPerOp: ns, Iterations: 100}
+	}
+	return s
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	base := snap(map[string]float64{"BenchmarkA": 100, "BenchmarkB": 200})
+	cur := snap(map[string]float64{"BenchmarkA": 101})
+	var out strings.Builder
+	if !compare(base, cur, 15, &out) {
+		t.Fatal("benchmark missing from head did not fail the gate")
+	}
+	got := out.String()
+	if !strings.Contains(got, "BenchmarkB") || !strings.Contains(got, "MISSING") {
+		t.Fatalf("missing benchmark not reported by name:\n%s", got)
+	}
+	if !strings.Contains(got, "missing from the head snapshot") {
+		t.Fatalf("no clear missing-benchmark message:\n%s", got)
+	}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	base := snap(map[string]float64{"BenchmarkA": 100, "BenchmarkB": 100})
+	cur := snap(map[string]float64{"BenchmarkA": 130, "BenchmarkB": 105})
+	var out strings.Builder
+	if !compare(base, cur, 15, &out) {
+		t.Fatal("30% regression under a 15% gate did not fail")
+	}
+	got := out.String()
+	if !strings.Contains(got, "REGRESSION") || !strings.Contains(got, "regression beyond 15%") {
+		t.Fatalf("regression not flagged:\n%s", got)
+	}
+}
+
+func TestCompareCleanRunPasses(t *testing.T) {
+	base := snap(map[string]float64{"BenchmarkA": 100, "BenchmarkB": 200})
+	cur := snap(map[string]float64{"BenchmarkA": 110, "BenchmarkB": 190})
+	var out strings.Builder
+	if compare(base, cur, 15, &out) {
+		t.Fatalf("within-gate deltas failed the compare:\n%s", out.String())
+	}
+}
+
+func TestCompareNewBenchmarkIsNotAFailure(t *testing.T) {
+	base := snap(map[string]float64{"BenchmarkA": 100})
+	cur := snap(map[string]float64{"BenchmarkA": 100, "BenchmarkNew": 50})
+	var out strings.Builder
+	if compare(base, cur, 15, &out) {
+		t.Fatalf("a benchmark new in head must not fail the gate:\n%s", out.String())
+	}
+}
+
+func TestCompareNoOverlap(t *testing.T) {
+	// Nothing in common and nothing missing: an empty baseline matches any
+	// head (the first run ever has no baseline to hold the head to).
+	var out strings.Builder
+	if compare(snap(nil), snap(map[string]float64{"BenchmarkA": 100}), 15, &out) {
+		t.Fatal("empty baseline failed the gate")
+	}
+	// But a baseline whose every benchmark vanished is all-missing: fail.
+	out.Reset()
+	if !compare(snap(map[string]float64{"BenchmarkA": 100}), snap(nil), 15, &out) {
+		t.Fatal("fully vanished benchmark set passed the gate")
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzConfigValidate feeds arbitrary JSON documents through Config
+// decoding and Validate. The contract under test: Validate never panics,
+// and any configuration it accepts must be constructible — NewController
+// (which builds the phase table from ThresholdPi and resolves the
+// confidence z-value) must succeed on it.
+func FuzzConfigValidate(f *testing.F) {
+	for _, cfg := range []Config{
+		DefaultConfig(1),
+		DefaultConfig(10),
+		{FFOps: 10_000, SampleOps: 1000, ThresholdPi: 0.05, Eps: 0.03, Confidence: 0.997, MinSamples: 8},
+		{FFOps: 10_000, WarmOps: 20_000, SampleOps: 1000, ThresholdPi: 0.05, Eps: 0.03, MinSamples: 8},
+		{FFOps: 10_000, SampleOps: 1000, ThresholdPi: 0.75, Eps: 0.03, MinSamples: 8},
+		{FFOps: 10_000, SampleOps: 1000, ThresholdPi: 0.5, DisableConfidence: true, MinSamples: 1},
+	} {
+		seed, err := json.Marshal(cfg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(seed)
+	}
+	f.Add([]byte(`{"FFOps": 1e30, "ThresholdPi": -0.1}`))
+	f.Add([]byte(`{"Eps": null, "MinSamples": 0}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var cfg Config
+		if err := json.Unmarshal(data, &cfg); err != nil {
+			t.Skip()
+		}
+		err := cfg.Validate()
+		_ = cfg.String()
+		if err != nil {
+			return
+		}
+		ctl, cerr := NewController(cfg, "fuzz", 1.0)
+		if cerr != nil {
+			t.Fatalf("Validate accepted %+v but NewController rejected it: %v", cfg, cerr)
+		}
+		// A fresh controller must be finishable without any windows.
+		if _, _, ferr := ctl.Finish(); ferr == nil {
+			// No samples ever taken: Finish is allowed to fail (nothing to
+			// estimate from) but must not panic; both outcomes are fine.
+			_ = ferr
+		}
+	})
+}

@@ -1,0 +1,123 @@
+package pgsserrors
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestTaxonomyTable walks the full sentinel × wrapping matrix: every class
+// must keep its Kind and Retryable verdict whether it is bare, wrapped by
+// its helper, wrapped again by a caller, or tagged Transient. This is the
+// contract the campaign runner's retry and journal logic stands on.
+func TestTaxonomyTable(t *testing.T) {
+	sentinels := []struct {
+		name      string
+		sentinel  error
+		make      func() error // helper-constructed instance ("" = %w wrap)
+		kind      string
+		retryable bool
+	}{
+		{"invalid-config", ErrInvalidConfig, func() error { return Invalidf("bad %s", "eps") }, "invalid-config", false},
+		{"misaligned-window", ErrMisalignedWindow, func() error { return Misalignedf("%d %% %d != 0", 15000, 10000) }, "misaligned-window", false},
+		{"budget-exceeded", ErrBudgetExceeded, nil, "budget-exceeded", false},
+		{"cache-corrupt", ErrCacheCorrupt, func() error { return Corruptf("bad magic %x", 0xdead) }, "cache-corrupt", true},
+		{"run-panicked", ErrRunPanicked, nil, "run-panicked", false},
+		{"interrupted", ErrInterrupted, nil, "interrupted", false},
+	}
+	for _, s := range sentinels {
+		t.Run(s.name, func(t *testing.T) {
+			made := fmt.Errorf("%w: detail", s.sentinel)
+			if s.make != nil {
+				made = s.make()
+			}
+			variants := []struct {
+				label     string
+				err       error
+				retryable bool
+			}{
+				{"bare sentinel", s.sentinel, s.retryable},
+				{"helper-made", made, s.retryable},
+				{"caller-wrapped", fmt.Errorf("run %s seed %d: %w", "gcc", 3, made), s.retryable},
+				{"double-wrapped", fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", made)), s.retryable},
+				// Transient overrides the class verdict but not the class.
+				{"transient-tagged", Transient(made), true},
+				{"wrapped transient", fmt.Errorf("attempt 1: %w", Transient(made)), true},
+			}
+			for _, v := range variants {
+				if got := Kind(v.err); got != s.kind {
+					t.Errorf("%s: Kind = %q, want %q", v.label, got, s.kind)
+				}
+				if got := Retryable(v.err); got != v.retryable {
+					t.Errorf("%s: Retryable = %v, want %v", v.label, got, v.retryable)
+				}
+				if !errors.Is(v.err, s.sentinel) {
+					t.Errorf("%s: errors.Is lost the %s sentinel", v.label, s.name)
+				}
+			}
+		})
+	}
+}
+
+// TestKindPicksTheInnermostClass: an error chain carries exactly one
+// sentinel in practice; Kind's switch order must not misfile a class that
+// also matches a later case (none do today — this pins it).
+func TestKindDistinctness(t *testing.T) {
+	all := map[string]error{
+		"invalid-config":    ErrInvalidConfig,
+		"misaligned-window": ErrMisalignedWindow,
+		"budget-exceeded":   ErrBudgetExceeded,
+		"cache-corrupt":     ErrCacheCorrupt,
+		"run-panicked":      ErrRunPanicked,
+		"interrupted":       ErrInterrupted,
+	}
+	for wantKind, sentinel := range all {
+		if got := Kind(sentinel); got != wantKind {
+			t.Errorf("Kind(%v) = %q, want %q", sentinel, got, wantKind)
+		}
+		for otherKind, other := range all {
+			if otherKind != wantKind && errors.Is(sentinel, other) {
+				t.Errorf("sentinel %q satisfies errors.Is against %q — classes must be disjoint", wantKind, otherKind)
+			}
+		}
+	}
+}
+
+// TestErrorsAsTransient checks errors.As digs the transient wrapper out of
+// a chain, and that the wrapper preserves the message of what it wraps.
+func TestErrorsAsTransient(t *testing.T) {
+	inner := Corruptf("checksum mismatch at byte %d", 42)
+	err := fmt.Errorf("attempt 2: %w", Transient(inner))
+	var tr transient
+	if !errors.As(err, &tr) {
+		t.Fatal("errors.As failed to find the transient wrapper")
+	}
+	if tr.Error() != inner.Error() {
+		t.Errorf("transient changed the message: %q vs %q", tr.Error(), inner.Error())
+	}
+	if !errors.Is(tr, ErrCacheCorrupt) {
+		t.Error("unwrapped transient lost the inner sentinel")
+	}
+	var none transient
+	if errors.As(Corruptf("plain"), &none) {
+		t.Error("errors.As found a transient wrapper where none exists")
+	}
+}
+
+// TestHelpersFormatDetail pins the helper constructors' formatting: the
+// sentinel prefix, then the formatted detail.
+func TestHelpersFormatDetail(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{Invalidf("eps %g", 0.0), "invalid configuration: eps 0"},
+		{Misalignedf("window %d", 1500), "misaligned window: window 1500"},
+		{Corruptf("magic %x", 0xab), "cache corrupt: magic ab"},
+	}
+	for _, c := range cases {
+		if got := c.err.Error(); got != c.want {
+			t.Errorf("Error() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package phase
+
+import (
+	"math"
+	"testing"
+
+	"pgss/internal/bbv"
+)
+
+// FuzzClassify drives the online phase table with an arbitrary BBV window
+// stream and checks its ledger invariants:
+//
+//   - phase IDs are dense (0..NumPhases-1, in discovery order) and the
+//     returned phase is always the table's current phase;
+//   - every window and every op lands in exactly one phase: member
+//     intervals and ops sum to the stream totals;
+//   - classification is deterministic: a fresh table replaying the same
+//     stream assigns the same phase ID sequence;
+//   - Transitions counts exactly the changed-window events.
+//
+// Windows are decoded as fixed-width byte chunks (one component per byte,
+// then normalised); the threshold byte spans the full legal [0, π/2].
+func FuzzClassify(f *testing.F) {
+	f.Add(uint8(10), []byte{1, 2, 3, 4, 1, 2, 3, 4, 9, 0, 0, 1})
+	f.Add(uint8(0), []byte{255, 0, 0, 0, 0, 255, 0, 0, 0, 0, 255, 0})
+	f.Add(uint8(255), []byte{7, 7, 7, 7, 8, 8, 8, 8, 7, 7, 7, 8})
+	f.Add(uint8(128), []byte{0, 0, 0, 0, 1, 1, 1, 1})
+
+	f.Fuzz(func(t *testing.T, thrByte uint8, data []byte) {
+		const dim = 4
+		threshold := float64(thrByte) / 255 * math.Pi / 2
+		run := func() (*Table, []int) {
+			tbl := MustNewTable(threshold)
+			var ids []int
+			for i := 0; i+dim <= len(data); i += dim {
+				v := make(bbv.Vector, dim)
+				for j := 0; j < dim; j++ {
+					v[j] = float64(data[i+j])
+				}
+				v.Normalize()
+				ops := uint64(1 + i)
+				p, isNew, changed := tbl.Classify(v, ops, i/dim)
+				if p != tbl.Current() {
+					t.Fatal("Classify returned a phase that is not Current()")
+				}
+				if isNew && p.ID != tbl.NumPhases()-1 {
+					t.Fatalf("new phase got ID %d with %d phases — IDs not dense", p.ID, tbl.NumPhases())
+				}
+				if isNew && !changed {
+					t.Fatal("a new phase must also report a change")
+				}
+				if p.ID < 0 || p.ID >= tbl.NumPhases() {
+					t.Fatalf("phase ID %d outside [0, %d)", p.ID, tbl.NumPhases())
+				}
+				ids = append(ids, p.ID)
+			}
+			tbl.FinishRun()
+			return tbl, ids
+		}
+
+		tbl, ids := run()
+		var wantOps, wantIntervals uint64
+		for i := 0; i+dim <= len(data); i += dim {
+			wantOps += uint64(1 + i)
+			wantIntervals++
+		}
+		var gotOps, gotIntervals, transitions uint64
+		for i, p := range tbl.Phases() {
+			if p.ID != i {
+				t.Fatalf("Phases()[%d] has ID %d — IDs not dense in discovery order", i, p.ID)
+			}
+			if p.Intervals == 0 {
+				t.Fatalf("phase %d retained with zero member windows", p.ID)
+			}
+			gotOps += p.Ops
+			gotIntervals += p.Intervals
+		}
+		if gotOps != wantOps || gotIntervals != wantIntervals {
+			t.Fatalf("phase ledger: %d ops / %d intervals, stream had %d / %d",
+				gotOps, gotIntervals, wantOps, wantIntervals)
+		}
+		for i := 1; i < len(ids); i++ {
+			if ids[i] != ids[i-1] {
+				transitions++
+			}
+		}
+		if tbl.Transitions != transitions {
+			t.Fatalf("Transitions = %d, ID sequence changed %d times", tbl.Transitions, transitions)
+		}
+		if mrl := tbl.MeanRunLength(); len(ids) > 0 && (math.IsNaN(mrl) || mrl <= 0) {
+			t.Fatalf("MeanRunLength = %g over %d windows", mrl, len(ids))
+		}
+
+		_, ids2 := run()
+		if len(ids) != len(ids2) {
+			t.Fatalf("replay classified %d windows, first run %d", len(ids2), len(ids))
+		}
+		for i := range ids {
+			if ids[i] != ids2[i] {
+				t.Fatalf("classification not deterministic: window %d got phase %d then %d", i, ids[i], ids2[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,187 @@
+package validate
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Violation is one invariant failure, carrying the minimal failing seed so
+// `pgss-validate -replay <seed>` reproduces it in isolation.
+type Violation struct {
+	// Seed identifies the failing case (0 for aggregate violations, which
+	// have no single case to replay).
+	Seed int64 `json:"seed,omitempty"`
+	// Invariant names the broken invariant (e.g. "serial-parallel-result").
+	Invariant string `json:"invariant"`
+	// Detail describes the discrepancy.
+	Detail string `json:"detail"`
+	// Replay is the command reproducing the case ("" for aggregates).
+	Replay string `json:"replay,omitempty"`
+}
+
+// CaseResult is the outcome of one validated case.
+type CaseResult struct {
+	Seed      int64  `json:"seed"`
+	Benchmark string `json:"benchmark"`
+	Config    string `json:"config,omitempty"`
+	TotalOps  uint64 `json:"total_ops,omitempty"`
+
+	TrueIPC      float64 `json:"true_ipc"`
+	EstimatedIPC float64 `json:"estimated_ipc"`
+	ErrPct       float64 `json:"err_pct"`
+	Samples      uint64  `json:"samples"`
+	Phases       int     `json:"phases"`
+
+	// LiveChecked marks cases that also ran the live-source layout check.
+	LiveChecked bool `json:"live_checked,omitempty"`
+	// Resumed marks cases satisfied from the campaign journal.
+	Resumed bool `json:"resumed,omitempty"`
+
+	Violations []Violation `json:"violations,omitempty"`
+}
+
+// violate records one invariant failure against the case.
+func (cr *CaseResult) violate(invariant, format string, args ...any) {
+	cr.Violations = append(cr.Violations, Violation{
+		Seed:      cr.Seed,
+		Invariant: invariant,
+		Detail:    fmt.Sprintf(format, args...),
+		Replay:    fmt.Sprintf("pgss-validate -replay %d", cr.Seed),
+	})
+}
+
+// Report aggregates a validation run: per-case results, every violation,
+// and the aggregate statistics the statistical invariants are checked on.
+type Report struct {
+	Cases    int   `json:"cases"`
+	BaseSeed int64 `json:"base_seed"`
+
+	// Checked counts cases that ran (or resumed) without infrastructure
+	// errors; LiveChecked counts those that included the live-source check.
+	Checked     int `json:"checked"`
+	LiveChecked int `json:"live_checked"`
+	Resumed     int `json:"resumed,omitempty"`
+
+	MeanErrPct float64 `json:"mean_err_pct"`
+	MaxErrPct  float64 `json:"max_err_pct"`
+	// MaxErrSeed is the seed of the worst case (replay it to inspect).
+	MaxErrSeed int64 `json:"max_err_seed,omitempty"`
+
+	// Bounds echoes the configured statistical bounds.
+	MaxMeanErrPctBound float64 `json:"max_mean_err_pct_bound"`
+	MaxCaseErrPctBound float64 `json:"max_case_err_pct_bound"`
+
+	Results    []CaseResult `json:"results"`
+	Violations []Violation  `json:"violations,omitempty"`
+
+	// OK reports whether every hard and statistical invariant held.
+	OK bool `json:"ok"`
+}
+
+// NewReport prepares an empty report for the run's options.
+func NewReport(opts Options) *Report {
+	return &Report{
+		Cases:              opts.Cases,
+		BaseSeed:           opts.Seed,
+		MaxMeanErrPctBound: opts.MaxMeanErrPct,
+		MaxCaseErrPctBound: opts.MaxCaseErrPct,
+	}
+}
+
+// add incorporates one case result.
+func (r *Report) add(cr CaseResult) {
+	r.Results = append(r.Results, cr)
+	r.Violations = append(r.Violations, cr.Violations...)
+	if cr.Resumed {
+		r.Resumed++
+	}
+	if cr.LiveChecked {
+		r.LiveChecked++
+	}
+}
+
+// finish computes the aggregates and runs the statistical invariants.
+func (r *Report) finish(opts Options) {
+	sort.Slice(r.Results, func(i, j int) bool { return r.Results[i].Seed < r.Results[j].Seed })
+	var sum float64
+	for _, cr := range r.Results {
+		if len(cr.Violations) > 0 && cr.Violations[0].Invariant == "run-error" {
+			continue
+		}
+		r.Checked++
+		sum += cr.ErrPct
+		if cr.ErrPct > r.MaxErrPct {
+			r.MaxErrPct = cr.ErrPct
+			r.MaxErrSeed = cr.Seed
+		}
+	}
+	if r.Checked > 0 {
+		r.MeanErrPct = sum / float64(r.Checked)
+	}
+	if opts.MaxMeanErrPct > 0 && r.MeanErrPct > opts.MaxMeanErrPct {
+		r.Violations = append(r.Violations, Violation{
+			Invariant: "aggregate-error-bound",
+			Detail: fmt.Sprintf("mean |IPC error| %.3f%% across %d cases exceeds the %.3f%% bound",
+				r.MeanErrPct, r.Checked, opts.MaxMeanErrPct),
+		})
+	}
+	if opts.MaxCaseErrPct > 0 && r.MaxErrPct > opts.MaxCaseErrPct {
+		r.Violations = append(r.Violations, Violation{
+			Seed:      r.MaxErrSeed,
+			Invariant: "case-error-bound",
+			Detail: fmt.Sprintf("case %d |IPC error| %.3f%% exceeds the %.3f%% tripwire",
+				r.MaxErrSeed, r.MaxErrPct, opts.MaxCaseErrPct),
+			Replay: fmt.Sprintf("pgss-validate -replay %d", r.MaxErrSeed),
+		})
+	}
+	sortViolations(r.Violations)
+	r.OK = len(r.Violations) == 0
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// Fprint renders the human-readable report.
+func (r *Report) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "validate: %d cases from seed %d: %d checked (%d live, %d resumed)\n",
+		r.Cases, r.BaseSeed, r.Checked, r.LiveChecked, r.Resumed)
+	fmt.Fprintf(w, "validate: IPC error vs oracle: mean %.3f%% (bound %.3f%%), max %.3f%% at seed %d (tripwire %.3f%%)\n",
+		r.MeanErrPct, r.MaxMeanErrPctBound, r.MaxErrPct, r.MaxErrSeed, r.MaxCaseErrPctBound)
+	if r.OK {
+		fmt.Fprintf(w, "validate: OK — all hard and statistical invariants held\n")
+		return
+	}
+	fmt.Fprintf(w, "validate: FAILED — %d violation(s):\n", len(r.Violations))
+	for _, v := range r.Violations {
+		detail := v.Detail
+		if len(detail) > 300 {
+			detail = detail[:300] + " …"
+		}
+		fmt.Fprintf(w, "  [%s] seed=%d: %s\n", v.Invariant, v.Seed, detail)
+		if v.Replay != "" {
+			fmt.Fprintf(w, "    replay: %s\n", v.Replay)
+		}
+	}
+}
+
+// FprintCase renders one case result (the -replay output).
+func FprintCase(w io.Writer, cr CaseResult) {
+	fmt.Fprintf(w, "case seed=%d benchmark=%s config=%s\n", cr.Seed, cr.Benchmark, cr.Config)
+	fmt.Fprintf(w, "  ops=%d phases=%d samples=%d true_ipc=%.4f est_ipc=%.4f err=%.3f%% live_checked=%v\n",
+		cr.TotalOps, cr.Phases, cr.Samples, cr.TrueIPC, cr.EstimatedIPC, cr.ErrPct, cr.LiveChecked)
+	if len(cr.Violations) == 0 {
+		fmt.Fprintf(w, "  OK — all invariants held\n")
+		return
+	}
+	for _, v := range cr.Violations {
+		fmt.Fprintf(w, "  VIOLATION [%s]: %s\n", v.Invariant, v.Detail)
+	}
+}
