@@ -8,7 +8,7 @@ COVER_FLOOR ?= 68.0
 # Per-target budget for `make fuzz-smoke` (4 targets; CI budgets 60s total).
 FUZZTIME ?= 15s
 
-.PHONY: build test vet fmt-check lint race bench bench-json bench-check cover fuzz-smoke validate ci clean
+.PHONY: build test vet fmt-check lint lint-custom lint-fix vuln race bench bench-json bench-check cover fuzz-smoke validate ci clean
 
 build:
 	$(GO) build ./...
@@ -23,14 +23,33 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# staticcheck is the lint bar in CI (installed there from a pinned version).
-# Locally it runs when present on PATH and is skipped with a notice otherwise,
-# so `make ci` works on minimal toolchains.
-lint:
+# The lint bar is two layers: staticcheck (generic, installed in CI from a
+# pinned version, skipped locally when absent so `make ci` works on minimal
+# toolchains) and pgss-lint (the repo's own analyzer suite, pure stdlib, so
+# it always runs). See internal/analysis and DESIGN.md for what it enforces.
+lint: lint-custom
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
 		echo "lint: staticcheck not installed; skipping (CI runs it)"; fi
+
+lint-custom:
+	$(GO) run ./cmd/pgss-lint ./...
+
+# Placeholder until an analyzer ships automated fixes; pgss-lint -fix exits
+# with the same message.
+lint-fix:
+	@echo "lint-fix: no analyzer ships automated fixes yet; fix by hand or"
+	@echo "lint-fix: suppress a justified case with '//pgss:allow <analyzer> <reason>'"
+	@exit 1
+
+# Known-vulnerability scan. govulncheck needs network access for the vuln DB,
+# so locally it runs only when installed; CI runs it in a non-blocking job.
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vuln: govulncheck not installed; skipping (CI runs it non-blocking)"; fi
 
 # The campaign runner and the suite's singleflight recording are concurrent;
 # the race detector is part of the acceptance bar, not an optional extra.

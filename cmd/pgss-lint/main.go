@@ -1,0 +1,141 @@
+// Command pgss-lint runs the repository's custom static-analysis suite:
+// determinism, error-taxonomy and concurrency invariants the generic
+// toolchain cannot know about (see internal/analysis).
+//
+// Usage:
+//
+//	pgss-lint [flags] [packages]
+//
+// With no package arguments it analyzes ./.... Exit status is 1 when any
+// diagnostic survives suppression filtering, 2 on operational failure.
+// Findings are suppressed in source with
+//
+//	//pgss:allow <analyzer> <reason>
+//
+// on (or directly above) the offending line.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pgss/internal/analysis"
+	"pgss/internal/analysis/registry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("pgss-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list    = fs.Bool("list", false, "list analyzers and exit")
+		only    = fs.String("only", "", "comma-separated analyzers to run (default: all)")
+		skip    = fs.String("skip", "", "comma-separated analyzers to skip")
+		jsonOut = fs.Bool("json", false, "emit diagnostics as JSON")
+		dir     = fs.String("C", ".", "change to `dir` before resolving patterns")
+		fixStub = fs.Bool("fix", false, "apply suggested fixes (not yet implemented)")
+		verbose = fs.Bool("v", false, "log per-package progress")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, an := range registry.All() {
+			fmt.Fprintf(stdout, "%-15s %s\n", an.Name, an.Doc)
+		}
+		fmt.Fprintf(stdout, "\nengine scope: %s\n", strings.Join(analysis.EnginePaths(), " "))
+		return 0
+	}
+	if *fixStub {
+		fmt.Fprintln(stderr, "pgss-lint: -fix is a stub; no analyzer ships fixes yet")
+		return 2
+	}
+
+	analyzers, err := selectAnalyzers(*only, *skip)
+	if err != nil {
+		fmt.Fprintf(stderr, "pgss-lint: %v\n", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.NewLoader().Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "pgss-lint: %v\n", err)
+		return 2
+	}
+
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		if *verbose {
+			fmt.Fprintf(stderr, "pgss-lint: %s\n", pkg.Path)
+		}
+		for _, an := range analyzers {
+			ds, err := analysis.RunAnalyzer(an, pkg)
+			if err != nil {
+				fmt.Fprintf(stderr, "pgss-lint: %v\n", err)
+				return 2
+			}
+			diags = append(diags, ds...)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(stderr, "pgss-lint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "pgss-lint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+func selectAnalyzers(only, skip string) ([]*analysis.Analyzer, error) {
+	analyzers := registry.All()
+	if only != "" {
+		var picked []*analysis.Analyzer
+		for _, name := range strings.Split(only, ",") {
+			an := registry.ByName(strings.TrimSpace(name))
+			if an == nil {
+				return nil, fmt.Errorf("unknown analyzer %q (try -list)", name)
+			}
+			picked = append(picked, an)
+		}
+		analyzers = picked
+	}
+	if skip != "" {
+		skipped := map[string]bool{}
+		for _, name := range strings.Split(skip, ",") {
+			name = strings.TrimSpace(name)
+			if registry.ByName(name) == nil {
+				return nil, fmt.Errorf("unknown analyzer %q (try -list)", name)
+			}
+			skipped[name] = true
+		}
+		var kept []*analysis.Analyzer
+		for _, an := range analyzers {
+			if !skipped[an.Name] {
+				kept = append(kept, an)
+			}
+		}
+		analyzers = kept
+	}
+	return analyzers, nil
+}

@@ -1,0 +1,136 @@
+// Package analysis is a self-contained static-analysis framework for the
+// PGSS tree, mirroring the shape of golang.org/x/tools/go/analysis without
+// the dependency (the module is intentionally dependency-free).
+//
+// An Analyzer inspects one type-checked package and reports Diagnostics.
+// The driver (cmd/pgss-lint) loads packages with Load, runs every
+// registered analyzer, filters suppressed findings and prints the rest.
+// Findings are suppressed by a trailing or preceding comment of the form
+//
+//	//pgss:allow <analyzer>[,<analyzer>...] [reason]
+//
+// which is deliberately loud in review: every suppression names the
+// invariant it waives.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Analyzer is one static check. Run inspects the package held by the Pass
+// and reports findings via Pass.Reportf; it returns an error only for
+// analyzer malfunction, never for findings.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppression
+	// comments. Lower-case, no spaces.
+	Name string
+	// Doc is a short description of what the analyzer enforces.
+	Doc string
+	// Run performs the check.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunAnalyzer applies one analyzer to one loaded package and returns the
+// surviving (non-suppressed) diagnostics.
+func RunAnalyzer(an *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  an,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+	if err := an.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", an.Name, pkg.Path, err)
+	}
+	sup := suppressions(pkg)
+	var out []Diagnostic
+	for _, d := range pass.diags {
+		if sup.allows(an.Name, d.Pos) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+var allowRe = regexp.MustCompile(`^//\s*pgss:allow\s+([a-z0-9_,-]+)`)
+
+// suppressionIndex maps file:line to the analyzer names waived there.
+type suppressionIndex map[string]map[int][]string
+
+// suppressions scans a package's comments for //pgss:allow markers. A
+// marker waives findings on its own line (trailing-comment style) and on
+// the line directly below (comment-above style).
+func suppressions(pkg *Package) suppressionIndex {
+	idx := suppressionIndex{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				names := strings.Split(m[1], ",")
+				pos := pkg.Fset.Position(c.Pos())
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					idx[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], names...)
+				lines[pos.Line+1] = append(lines[pos.Line+1], names...)
+			}
+		}
+	}
+	return idx
+}
+
+func (idx suppressionIndex) allows(analyzer string, pos token.Position) bool {
+	lines := idx[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, name := range lines[pos.Line] {
+		if name == analyzer || name == "all" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,99 @@
+// Package analysistest runs one analyzer over a testdata package and
+// checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on top of the in-tree
+// framework.
+//
+// Expectation syntax: a comment
+//
+//	x := foo() // want "regexp" "another regexp"
+//
+// demands that each quoted regexp match the message of a distinct
+// diagnostic reported on that line. Lines without a want comment must
+// produce no diagnostics. Suppressed findings (//pgss:allow) are filtered
+// before matching, so a testdata line can carry both a violation and its
+// suppression to prove the escape hatch works.
+package analysistest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"pgss/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+var quoteRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads dir as a single package with import path asPath and checks
+// analyzer an against the // want comments in its files.
+func Run(t *testing.T, an *analysis.Analyzer, dir, asPath string) {
+	t.Helper()
+	pkg, err := analysis.NewLoader().LoadDir(dir, asPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := analysis.RunAnalyzer(an, pkg)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", an.Name, dir, err)
+	}
+
+	expects := map[string][]*expectation{}
+	for _, f := range pkg.Files {
+		filename := pkg.Fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				for _, q := range quoteRe.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(unescape(q[1]))
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", filename, line, q[1], err)
+					}
+					expects[filename] = append(expects[filename], &expectation{line: line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		if !consume(expects[d.Pos.Filename], d.Pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", an.Name, d)
+		}
+	}
+	for filename, exps := range expects {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s: %s:%d: no diagnostic matching %q", an.Name, filename, e.line, e.re)
+			}
+		}
+	}
+}
+
+// consume marks the first unmatched expectation on line whose regexp
+// matches msg.
+func consume(exps []*expectation, line int, msg string) bool {
+	for _, e := range exps {
+		if e.line == line && !e.matched && e.re.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// unescape undoes only the escaping the want syntax itself needs (\" and
+// \\), leaving regexp escapes like \. intact.
+func unescape(s string) string {
+	s = strings.ReplaceAll(s, `\"`, `"`)
+	return strings.ReplaceAll(s, `\\`, `\`)
+}

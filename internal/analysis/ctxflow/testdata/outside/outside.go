@@ -1,0 +1,19 @@
+// Package outside is ctxflow testdata under a non-engine path: Background
+// is allowed there (campaign owns its lifecycle), but holding a ctx and
+// calling a context-free variant is still a dropped deadline.
+package outside
+
+import "context"
+
+func Detached() error {
+	ctx := context.Background()
+	return pollContext(ctx)
+}
+
+func drop(ctx context.Context) error {
+	return poll() // want "call to poll drops the caller's ctx"
+}
+
+func poll() error { return pollContext(context.Background()) }
+
+func pollContext(ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,119 @@
+// Package errwrap enforces the error taxonomy inside the engine packages:
+// every error created on an engine path must be classifiable by
+// pgss/internal/pgsserrors.
+//
+// The campaign runner decides retry-vs-fail with errors.Is against the
+// taxonomy sentinels; a bare errors.New or fmt.Errorf without %w inside an
+// engine produces a Kind()=="other" error that defeats that
+// classification. Allowed forms:
+//
+//   - fmt.Errorf with %w (propagates or attaches a classified cause),
+//   - pgsserrors helpers (Invalidf, Misalignedf, Corruptf, ...),
+//   - an error expression passed directly to a pgsserrors function
+//     (e.g. Transient(errors.New(...))),
+//   - package-level sentinel declarations (var ErrX = errors.New(...)).
+package errwrap
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"pgss/internal/analysis"
+)
+
+const taxonomyPath = "pgss/internal/pgsserrors"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc: "engine errors must wrap a pgsserrors sentinel (or another error " +
+		"via %w), never bare errors.New/fmt.Errorf",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsEngine(pass.Pkg.Path()) || pass.Pkg.Path() == taxonomyPath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Arguments handed directly to a pgsserrors function are classified by
+	// that call and need no taxonomy of their own.
+	blessed := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isPkgCall(pass, call, taxonomyPath, "") {
+			return true
+		}
+		for _, arg := range call.Args {
+			blessed[arg] = true
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || blessed[call] {
+			return true
+		}
+		switch {
+		case isPkgCall(pass, call, "errors", "New"):
+			pass.Reportf(call.Pos(),
+				"bare errors.New in engine package %s defeats taxonomy classification; "+
+					"wrap a pgsserrors sentinel (%%w) or use a helper like pgsserrors.Invalidf",
+				pass.Pkg.Path())
+		case isPkgCall(pass, call, "fmt", "Errorf") && !formatWraps(call):
+			pass.Reportf(call.Pos(),
+				"fmt.Errorf without %%w in engine package %s creates an unclassifiable error; "+
+					"wrap a pgsserrors sentinel or the causing error",
+				pass.Pkg.Path())
+		}
+		return true
+	})
+}
+
+// isPkgCall reports whether call invokes pkgPath.name (any function of
+// pkgPath when name is empty).
+func isPkgCall(pass *analysis.Pass, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != pkgPath {
+		return false
+	}
+	return name == "" || sel.Sel.Name == name
+}
+
+// formatWraps reports whether the first argument of a fmt.Errorf call
+// contains %w in any literal part (handles "a: %w" and "%w: "+format
+// concatenations).
+func formatWraps(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(call.Args[0], func(n ast.Node) bool {
+		if lit, ok := n.(*ast.BasicLit); ok && strings.Contains(lit.Value, "%w") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

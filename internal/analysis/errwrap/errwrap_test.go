@@ -1,0 +1,15 @@
+package errwrap
+
+import (
+	"testing"
+
+	"pgss/internal/analysis/analysistest"
+)
+
+func TestEngineScope(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/engine", "pgss/internal/sampling")
+}
+
+func TestOutsideScope(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/outside", "pgss/internal/campaign")
+}

@@ -1,0 +1,12 @@
+// Package outside is errwrap testdata type-checked under a non-engine
+// import path: bare errors are the caller's business there.
+package outside
+
+import (
+	"errors"
+	"fmt"
+)
+
+func bareNew() error        { return errors.New("cli usage error") }
+func bareErrf() error       { return fmt.Errorf("flag -cases must be positive") }
+func wrapped(e error) error { return fmt.Errorf("campaign: %w", e) }

@@ -1,0 +1,170 @@
+// Package goroutines hardens the worker-pool idioms in the campaign and
+// parallel engines beyond what go vet covers:
+//
+//  1. sync.WaitGroup.Add called *inside* the goroutine it accounts for
+//     races with Wait — the classic add-after-wait bug. Add belongs
+//     before the `go` statement.
+//  2. A `go func(){...}` literal that writes a captured outer variable
+//     with no synchronization in sight (no mutex Lock, channel operation,
+//     select, or sync/atomic call inside the literal) is a data race
+//     candidate. Sharded writes through an index (results[i] = ...) are
+//     the sanctioned pattern and are not flagged.
+package goroutines
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pgss/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutines",
+	Doc: "WaitGroup.Add before the go statement; no unsynchronized writes " +
+		"to captured variables inside goroutines",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkWgAdd(pass, lit)
+			if !usesSync(pass, lit) {
+				checkCapturedWrites(pass, lit)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkWgAdd flags WaitGroup.Add calls inside the goroutine body.
+func checkWgAdd(pass *analysis.Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+			return false // nested literals are not necessarily goroutines
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Add" {
+			return true
+		}
+		if isSyncType(receiverType(pass, sel), "WaitGroup") {
+			pass.Reportf(call.Pos(),
+				"WaitGroup.Add inside the goroutine races with Wait; "+
+					"call Add before the go statement")
+		}
+		return true
+	})
+}
+
+// checkCapturedWrites flags assignments to variables declared outside the
+// literal when the literal shows no sign of synchronization.
+func checkCapturedWrites(pass *analysis.Pass, lit *ast.FuncLit) {
+	report := func(id *ast.Ident) {
+		obj := pass.TypesInfo.ObjectOf(id)
+		v, ok := obj.(*types.Var)
+		if !ok || v.Name() == "_" {
+			return
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return // declared inside the goroutine (params included)
+		}
+		pass.Reportf(id.Pos(),
+			"goroutine writes captured variable %s with no synchronization in the "+
+				"literal; send the value on a channel, guard it, or shard by index",
+			v.Name())
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					report(id)
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := n.X.(*ast.Ident); ok {
+				report(id)
+			}
+		}
+		return true
+	})
+}
+
+// usesSync reports whether the literal contains any synchronization: a
+// channel operation, select, mutex/locker method call, or sync/atomic
+// call. Writes under such protection are the guarded-aggregation pattern
+// and are left to the race detector.
+func usesSync(pass *analysis.Pass, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Lock", "RLock", "Unlock", "RUnlock", "Do", "Store", "Swap",
+					"CompareAndSwap", "Or", "And":
+					found = true
+				}
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok &&
+						pn.Imported().Path() == "sync/atomic" {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// receiverType returns the (pointer-stripped) receiver type of a method
+// selector, nil when sel is not a method selection.
+func receiverType(pass *analysis.Pass, sel *ast.SelectorExpr) types.Type {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return nil
+	}
+	T := s.Recv()
+	if p, ok := T.(*types.Pointer); ok {
+		T = p.Elem()
+	}
+	return T
+}
+
+func isSyncType(T types.Type, name string) bool {
+	named, ok := T.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == name
+}

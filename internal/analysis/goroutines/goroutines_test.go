@@ -1,0 +1,11 @@
+package goroutines
+
+import (
+	"testing"
+
+	"pgss/internal/analysis/analysistest"
+)
+
+func TestGoroutines(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/src", "pgss/internal/campaign")
+}

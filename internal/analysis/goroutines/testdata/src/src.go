@@ -1,0 +1,104 @@
+// Package src is goroutines testdata.
+package src
+
+import "sync"
+
+func addInsideGoroutine(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1) // want "WaitGroup.Add inside the goroutine"
+			defer wg.Done()
+			work(i)
+		}()
+	}
+	wg.Wait()
+}
+
+// addBeforeGo is the correct shape: no diagnostics.
+func addBeforeGo(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work(i)
+		}()
+	}
+	wg.Wait()
+}
+
+func unsyncCapturedWrite() int {
+	total := 0
+	go func() {
+		total = work(1) // want "goroutine writes captured variable total"
+	}()
+	return total
+}
+
+func unsyncIncrement(n int) int {
+	count := 0
+	for i := 0; i < n; i++ {
+		go func() {
+			count++ // want "goroutine writes captured variable count"
+		}()
+	}
+	return count
+}
+
+// shardedWrites index into a shared slice: the sanctioned pattern.
+func shardedWrites(n int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = work(i)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// guardedWrite holds a mutex around the captured write: left to the race
+// detector, not flagged.
+func guardedWrite(n int) int {
+	var mu sync.Mutex
+	total := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mu.Lock()
+			total += work(i)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	return total
+}
+
+// channelResult communicates instead of sharing: not flagged.
+func channelResult(n int) int {
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) { ch <- work(i) }(i)
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += <-ch
+	}
+	return total
+}
+
+func suppressed() int {
+	done := 0
+	go func() {
+		done = 1 //pgss:allow goroutines joined by the caller via sleep-free barrier elsewhere
+	}()
+	return done
+}
+
+func work(i int) int { return i * 2 }

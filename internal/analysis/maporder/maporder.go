@@ -1,0 +1,175 @@
+// Package maporder flags `range` over a map whose loop body feeds
+// order-sensitive state: appending to a slice, writing to an io.Writer or
+// hash, encoding, or sending on a channel.
+//
+// Go randomizes map iteration order per run, so any of those bodies makes
+// output (reports, journals, centroid updates, hashes) differ between
+// bit-identical runs. Commutative bodies — summing values, counting,
+// building another map — are not flagged. The canonical collect-keys-
+// then-sort idiom is recognized: an append whose destination slice is
+// passed to a sort function later in the same enclosing function is
+// allowed.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"pgss/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration that appends, writes or sends — output must " +
+		"not depend on randomized map order",
+	Run: run,
+}
+
+// emitNames are method names whose call inside a map-range body makes the
+// iteration order observable.
+var emitNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Encode": true, "Sum": true, "Sum32": true, "Sum64": true,
+}
+
+// sortFuncs are the package-level functions that make a previously
+// appended slice deterministic again.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Body != nil {
+				checkFunc(pass, fn.Body)
+			}
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(pass, body, rs)
+		return true
+	})
+}
+
+// checkMapRange inspects one map-range body; funcBody is the enclosing
+// function body searched for a later sort of any appended-to slice.
+func checkMapRange(pass *analysis.Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"send on channel inside map iteration publishes randomized map order")
+		case *ast.CallExpr:
+			checkCall(pass, funcBody, rs, n)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt, call *ast.CallExpr) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name != "append" {
+			return
+		}
+		if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); !isBuiltin {
+			return
+		}
+		if obj := appendTarget(pass, call); obj != nil && sortedAfter(pass, funcBody, rs.End(), obj) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"append inside map iteration orders the slice by randomized map order; "+
+				"collect and sort the keys first (or sort the slice before use)")
+	case *ast.SelectorExpr:
+		if !emitNames[fun.Sel.Name] {
+			return
+		}
+		// Both method calls (w.Write, h.Sum64, enc.Encode) and package
+		// functions (fmt.Fprintf) are order-sensitive sinks.
+		pass.Reportf(call.Pos(),
+			"%s inside map iteration emits in randomized map order; "+
+				"iterate sorted keys instead", fun.Sel.Name)
+	}
+}
+
+// appendTarget returns the object of x in `x = append(x, ...)` (or a
+// parent AssignStmt with a plain ident LHS), nil when the destination is
+// not a simple variable.
+func appendTarget(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	if id, ok := call.Args[0].(*ast.Ident); ok {
+		return pass.TypesInfo.Uses[id]
+	}
+	return nil
+}
+
+// sortedAfter reports whether obj is passed to a sort function at a
+// position after pos within body.
+func sortedAfter(pass *analysis.Pass, body *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+		if !ok || !sortFuncs[pn.Imported().Path()][sel.Sel.Name] {
+			return true
+		}
+		for _, arg := range call.Args {
+			argHit := false
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					argHit = true
+				}
+				return !argHit
+			})
+			if argHit {
+				found = true
+				break
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,11 @@
+package maporder
+
+import (
+	"testing"
+
+	"pgss/internal/analysis/analysistest"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/src", "pgss/internal/phase")
+}

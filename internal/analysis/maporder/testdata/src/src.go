@@ -1,0 +1,84 @@
+// Package src is maporder testdata: order-sensitive map iterations must
+// be flagged, commutative and sort-after patterns must not.
+package src
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func appendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append inside map iteration"
+	}
+	return keys
+}
+
+// appendThenSort is the canonical deterministic idiom: allowed.
+func appendThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// appendThenSortSlice sorts through sort.Slice with the slice nested in a
+// closure argument: allowed.
+func appendThenSortSlice(m map[string]int) []int {
+	vals := make([]int, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func emitUnsorted(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "Fprintf inside map iteration"
+	}
+}
+
+func sendUnsorted(ch chan string, m map[string]bool) {
+	for k := range m {
+		ch <- k // want "send on channel inside map iteration"
+	}
+}
+
+// sumCommutative accumulates order-independently: allowed.
+func sumCommutative(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// buildMap writes into another map: order-independent, allowed.
+func buildMap(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// sliceRange is not a map: allowed even though it appends.
+func sliceRange(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}
+
+func suppressed(w io.Writer, m map[string]int) {
+	for k := range m {
+		//pgss:allow maporder debug dump, order genuinely irrelevant
+		fmt.Fprintln(w, k)
+	}
+}

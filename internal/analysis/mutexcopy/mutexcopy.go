@@ -1,0 +1,169 @@
+// Package mutexcopy hardens the copylocks rule for the worker pools: a
+// value of a type that contains a sync primitive (Mutex, RWMutex,
+// WaitGroup, Once, Cond, sync/atomic types — anything carrying a noCopy
+// or Lock/Unlock method) must never be copied. A copied mutex guards
+// nothing; a copied WaitGroup deadlocks or races.
+//
+// Beyond go vet's copylocks, this also flags function *results* that
+// return such values by value, the seed of many later copy bugs.
+package mutexcopy
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pgss/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "mutexcopy",
+	Doc: "forbid by-value params, results, receivers, assignments and " +
+		"range values of lock-containing types",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, seen: map[types.Type]bool{}}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				c.checkSignature(n)
+			case *ast.AssignStmt:
+				c.checkAssign(n)
+			case *ast.RangeStmt:
+				c.checkRange(n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	seen map[types.Type]bool
+}
+
+func (c *checker) checkSignature(fn *ast.FuncDecl) {
+	if fn.Recv != nil {
+		for _, f := range fn.Recv.List {
+			c.checkFieldList(f, "receiver")
+		}
+	}
+	if fn.Type.Params != nil {
+		for _, f := range fn.Type.Params.List {
+			c.checkFieldList(f, "parameter")
+		}
+	}
+	if fn.Type.Results != nil {
+		for _, f := range fn.Type.Results.List {
+			c.checkFieldList(f, "result")
+		}
+	}
+}
+
+func (c *checker) checkFieldList(f *ast.Field, role string) {
+	tv, ok := c.pass.TypesInfo.Types[f.Type]
+	if !ok {
+		return
+	}
+	if name := c.lockIn(tv.Type); name != "" {
+		c.pass.Reportf(f.Type.Pos(),
+			"%s passes %s by value, copying its %s; use a pointer",
+			role, types.TypeString(tv.Type, types.RelativeTo(c.pass.Pkg)), name)
+	}
+}
+
+// checkAssign flags statements that copy an existing lock-containing
+// value. Fresh composite literals and pointer assignments are fine.
+func (c *checker) checkAssign(as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		// `_ = x` reads without copying into a usable variable.
+		if i < len(as.Lhs) {
+			if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+		}
+		switch rhs.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		default:
+			continue
+		}
+		tv, ok := c.pass.TypesInfo.Types[rhs]
+		if !ok {
+			continue
+		}
+		if name := c.lockIn(tv.Type); name != "" {
+			c.pass.Reportf(rhs.Pos(),
+				"assignment copies a value containing %s; use a pointer", name)
+		}
+	}
+}
+
+func (c *checker) checkRange(rs *ast.RangeStmt) {
+	if rs.Value == nil {
+		return
+	}
+	// With :=, the value var is a definition (Defs), not an expression use.
+	var T types.Type
+	if id, ok := rs.Value.(*ast.Ident); ok {
+		if obj := c.pass.TypesInfo.ObjectOf(id); obj != nil {
+			T = obj.Type()
+		}
+	} else if tv, ok := c.pass.TypesInfo.Types[rs.Value]; ok {
+		T = tv.Type
+	}
+	if T == nil {
+		return
+	}
+	if name := c.lockIn(T); name != "" {
+		c.pass.Reportf(rs.Value.Pos(),
+			"range value copies a value containing %s each iteration; "+
+				"range over indices or pointers", name)
+	}
+}
+
+// lockIn returns the name of the sync primitive reachable by value inside
+// T ("" when T is copy-safe). It mirrors copylocks: a type is a lock when
+// its pointer method set has Lock and Unlock (sync primitives and noCopy
+// carriers), and structs/arrays are searched recursively.
+func (c *checker) lockIn(T types.Type) string {
+	if c.seen[T] {
+		return "" // cycle or already-reported type
+	}
+	c.seen[T] = true
+	defer delete(c.seen, T)
+
+	if isLock(T) {
+		return types.TypeString(T, types.RelativeTo(c.pass.Pkg))
+	}
+	switch u := T.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name := c.lockIn(u.Field(i).Type()); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return c.lockIn(u.Elem())
+	}
+	return ""
+}
+
+func isLock(T types.Type) bool {
+	if _, ok := T.(*types.Named); !ok {
+		return false
+	}
+	ms := types.NewMethodSet(types.NewPointer(T))
+	return lookupMethod(ms, "Lock") && lookupMethod(ms, "Unlock")
+}
+
+func lookupMethod(ms *types.MethodSet, name string) bool {
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}

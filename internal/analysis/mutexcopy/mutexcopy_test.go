@@ -1,0 +1,11 @@
+package mutexcopy
+
+import (
+	"testing"
+
+	"pgss/internal/analysis/analysistest"
+)
+
+func TestMutexCopy(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/src", "pgss/internal/parallel")
+}

@@ -1,0 +1,78 @@
+// Package src is mutexcopy testdata.
+package src
+
+import "sync"
+
+// pool embeds a mutex, so pool values must never be copied.
+type pool struct {
+	mu   sync.Mutex
+	jobs []int
+}
+
+// wrapped embeds pool one level down; recursion must still find the lock.
+type wrapped struct {
+	inner pool
+}
+
+func byValueParam(p pool) int { // want "parameter passes pool by value"
+	return len(p.jobs)
+}
+
+func byValueResult() pool { // want "result passes pool by value"
+	return pool{}
+}
+
+func (p pool) byValueReceiver() int { // want "receiver passes pool by value"
+	return len(p.jobs)
+}
+
+// pointers are the correct shape everywhere: no diagnostics.
+func byPointer(p *pool) *pool { return p }
+
+func (p *pool) ptrReceiver() int { return len(p.jobs) }
+
+func assignCopy(p *pool) {
+	cp := *p // want "assignment copies a value containing"
+	_ = cp
+}
+
+func assignWrapped(w wrapped) { // want "parameter passes wrapped by value"
+	inner := w.inner // want "assignment copies a value containing"
+	_ = inner
+}
+
+// freshLiteral constructs a new value in place: allowed.
+func freshLiteral() {
+	var mu sync.Mutex
+	p := pool{}
+	mu.Lock()
+	mu.Unlock()
+	_ = p
+}
+
+func rangeCopy(pools []pool) int {
+	n := 0
+	for _, p := range pools { // want "range value copies a value containing"
+		n += len(p.jobs)
+	}
+	return n
+}
+
+// rangePointers iterates pointers: allowed.
+func rangePointers(pools []*pool) int {
+	n := 0
+	for _, p := range pools {
+		n += len(p.jobs)
+	}
+	return n
+}
+
+// locker is an interface: interface values copy fine.
+func viaInterface(l sync.Locker) {
+	l.Lock()
+	defer l.Unlock()
+}
+
+func suppressed(p pool) int { //pgss:allow mutexcopy fixture copied before any goroutine starts
+	return len(p.jobs)
+}

@@ -1,0 +1,81 @@
+// Package nodeterminism forbids nondeterministic inputs — wall clocks,
+// process-global randomness and environment variables — inside the
+// deterministic engine packages.
+//
+// The engines' contract is that a run is a pure function of (workload,
+// config, seed): serial, parallel and live executions must be
+// bit-identical. A single time.Now() on a decision path, a global
+// math/rand draw, or an os.Getenv branch silently voids that contract in
+// ways the differential harness only catches at run time. Seeded
+// generators (rand.New(rand.NewSource(seed))) remain legal: only the
+// process-global source and clocks are banned.
+package nodeterminism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pgss/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nodeterminism",
+	Doc: "forbid time.Now/time.Since, global math/rand and os.Getenv in the " +
+		"deterministic engine packages",
+	Run: run,
+}
+
+// forbidden maps package path -> function names whose call sites break
+// seed-determinism. Methods on seeded *rand.Rand values are not listed:
+// they are the sanctioned alternative.
+var forbidden = map[string]map[string]bool{
+	"time": set("Now", "Since", "Until", "Sleep", "After", "Tick",
+		"AfterFunc", "NewTicker", "NewTimer"),
+	"math/rand": set("Int", "Intn", "Int31", "Int31n", "Int63", "Int63n",
+		"Uint32", "Uint64", "Float32", "Float64", "ExpFloat64",
+		"NormFloat64", "Perm", "Shuffle", "Seed", "Read"),
+	"math/rand/v2": set("Int", "IntN", "Int32", "Int32N", "Int64", "Int64N",
+		"Uint", "Uint32", "Uint32N", "Uint64", "Uint64N", "UintN",
+		"Float32", "Float64", "ExpFloat64", "NormFloat64", "Perm",
+		"Shuffle", "N"),
+	"os": set("Getenv", "LookupEnv", "Environ"),
+}
+
+func set(names ...string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsEngine(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pn.Imported().Path()
+			if forbidden[path][sel.Sel.Name] {
+				pass.Reportf(sel.Pos(),
+					"%s.%s is nondeterministic input inside engine package %s; "+
+						"engines must be pure functions of (workload, config, seed)",
+					path, sel.Sel.Name, pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}

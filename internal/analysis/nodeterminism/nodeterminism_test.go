@@ -1,0 +1,15 @@
+package nodeterminism
+
+import (
+	"testing"
+
+	"pgss/internal/analysis/analysistest"
+)
+
+func TestEngineScope(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/engine", "pgss/internal/core")
+}
+
+func TestAllowlistedScope(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/allowlisted", "pgss/internal/campaign")
+}

@@ -1,0 +1,18 @@
+// Package allowlisted is nodeterminism testdata type-checked under a
+// wall-clock-legitimate import path (the campaign runner): identical calls
+// produce no diagnostics.
+package allowlisted
+
+import (
+	"math/rand"
+	"time"
+)
+
+func elapsed() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}
+
+func jitter(d time.Duration) time.Duration {
+	return d + time.Duration(rand.Int63n(int64(d)/2+1))
+}

@@ -1,0 +1,39 @@
+// Package engine is nodeterminism testdata type-checked under an engine
+// import path, so every banned call site must be flagged.
+package engine
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func wallClock() time.Duration {
+	t0 := time.Now() // want "time.Now is nondeterministic input"
+	work()
+	return time.Since(t0) // want "time.Since is nondeterministic input"
+}
+
+func globalRand() float64 {
+	return rand.Float64() // want "math/rand.Float64 is nondeterministic input"
+}
+
+func envProbe() string {
+	if v, ok := os.LookupEnv("PGSS_DEBUG"); ok { // want "os.LookupEnv is nondeterministic input"
+		return v
+	}
+	return os.Getenv("HOME") // want "os.Getenv is nondeterministic input"
+}
+
+// seededRand is the sanctioned pattern: an explicit source derived from
+// the run's seed. No diagnostics.
+func seededRand(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func suppressed() time.Time {
+	return time.Now() //pgss:allow nodeterminism test of the escape hatch
+}
+
+func work() {}

@@ -1,0 +1,37 @@
+// Package registry enumerates the pgss-lint analyzer suite. It lives
+// outside package analysis so the framework does not import its own
+// clients.
+package registry
+
+import (
+	"pgss/internal/analysis"
+	"pgss/internal/analysis/ctxflow"
+	"pgss/internal/analysis/errwrap"
+	"pgss/internal/analysis/goroutines"
+	"pgss/internal/analysis/maporder"
+	"pgss/internal/analysis/mutexcopy"
+	"pgss/internal/analysis/nodeterminism"
+)
+
+// All returns every analyzer in the suite, in the order pgss-lint runs
+// them.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		nodeterminism.Analyzer,
+		maporder.Analyzer,
+		errwrap.Analyzer,
+		ctxflow.Analyzer,
+		mutexcopy.Analyzer,
+		goroutines.Analyzer,
+	}
+}
+
+// ByName returns the named analyzer, nil when unknown.
+func ByName(name string) *analysis.Analyzer {
+	for _, an := range All() {
+		if an.Name == name {
+			return an
+		}
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+)
+
+// enginePaths is the deterministic core of the system: the packages whose
+// behaviour must be a pure function of (workload, config, seed). Serial,
+// parallel and live runs are bit-identical only while nothing in this set
+// consults a wall clock, an environment variable, process-global
+// randomness, or Go's randomized map iteration order on an output path.
+//
+// Deliberately absent: campaign and experiments (wall-clock timing,
+// jittered retry backoff and progress logging are their job), validate
+// (drives wall-clock campaign machinery), the cmd/ mains and examples.
+var enginePaths = map[string]bool{
+	"pgss/internal/core":       true,
+	"pgss/internal/parallel":   true,
+	"pgss/internal/sampling":   true,
+	"pgss/internal/phase":      true,
+	"pgss/internal/bbv":        true,
+	"pgss/internal/checkpoint": true,
+	"pgss/internal/profile":    true,
+	"pgss/internal/cpu":        true,
+	"pgss/internal/workload":   true,
+}
+
+// IsEngine reports whether path is one of the deterministic engine
+// packages bound by the nodeterminism, errwrap and ctxflow invariants.
+func IsEngine(path string) bool { return enginePaths[path] }
+
+// EnginePaths returns the deterministic package set, sorted, for docs and
+// driver output.
+func EnginePaths() []string {
+	out := make([]string, 0, len(enginePaths))
+	for p := range enginePaths {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsCommand reports whether path is a main package or example — code where
+// wall-clock use is always legitimate.
+func IsCommand(path string) bool {
+	return strings.HasPrefix(path, "pgss/cmd/") || strings.HasPrefix(path, "pgss/examples/")
+}

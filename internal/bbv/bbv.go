@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"pgss/internal/pgsserrors"
 )
 
 // DefaultHashBits is the paper's hash width: 5 bits → 32 registers.
@@ -149,7 +151,7 @@ type Hash struct {
 func NewHash(width int, seed int64) (*Hash, error) {
 	const lo, hi = 2, 18 // candidate range [lo, hi)
 	if width <= 0 || width > hi-lo {
-		return nil, fmt.Errorf("bbv: hash width %d outside [1,%d]", width, hi-lo)
+		return nil, pgsserrors.Invalidf("bbv: hash width %d outside [1,%d]", width, hi-lo)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	perm := rng.Perm(hi - lo)

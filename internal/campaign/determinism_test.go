@@ -1,0 +1,106 @@
+package campaign
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"pgss/internal/sampling"
+)
+
+func determinismOutcomes() []Outcome {
+	specs := []Spec{
+		{Benchmark: "gcc", Technique: "simpoint", Seed: 1},
+		{Benchmark: "gcc", Technique: "smarts", Seed: 1},
+		{Benchmark: "mcf", Technique: "simpoint", Seed: 2},
+		{Benchmark: "mcf", Technique: "smarts", Config: "u=2000", Seed: 2},
+		{Benchmark: "art", Technique: "stratified", Seed: 3},
+	}
+	out := make([]Outcome, len(specs))
+	for i, s := range specs {
+		out[i] = Outcome{
+			Spec:     s,
+			Result:   sampling.Result{Technique: s.Technique, Benchmark: s.Benchmark, EstimatedIPC: 1.0 + float64(i)/10, TrueIPC: 1.0},
+			Attempts: 1,
+			Elapsed:  time.Duration(i+1) * time.Millisecond,
+		}
+	}
+	return out
+}
+
+// TestJournalReplayOrderIndependent writes the same outcomes to journals
+// in different completion orders and checks the replayed state is
+// identical — the property that makes resume independent of worker
+// scheduling.
+func TestJournalReplayOrderIndependent(t *testing.T) {
+	outcomes := determinismOutcomes()
+	perms := [][]int{
+		{0, 1, 2, 3, 4},
+		{4, 3, 2, 1, 0},
+		{2, 0, 4, 1, 3},
+	}
+
+	var want map[string]record
+	for i, p := range perms {
+		path := filepath.Join(t.TempDir(), "journal.jsonl")
+		w, err := openJournal(path, false)
+		if err != nil {
+			t.Fatalf("openJournal: %v", err)
+		}
+		for _, idx := range p {
+			if err := w.append(newRecord(outcomes[idx])); err != nil {
+				t.Fatalf("append: %v", err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		got, err := replayJournal(path, func(string, ...any) {})
+		if err != nil {
+			t.Fatalf("replayJournal: %v", err)
+		}
+		if i == 0 {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("replayed journal state differs for completion order %v", p)
+		}
+	}
+	if len(want) != len(outcomes) {
+		t.Errorf("replayed %d records, want %d", len(want), len(outcomes))
+	}
+}
+
+// TestSummaryErrorKindsSorted pins the Summary rendering: the errors-by-
+// kind tally is a map, so the rendering must impose its own order. Many
+// kinds makes an accidental in-map-order walk overwhelmingly likely to
+// differ between runs, so a stable wrong implementation cannot pass by
+// luck.
+func TestSummaryErrorKindsSorted(t *testing.T) {
+	r := &Report{
+		Outcomes:  make([]Outcome, 9),
+		Completed: 2,
+		Failed:    7,
+		ErrorsByKind: map[string]int{
+			"run-panicked":      1,
+			"invalid-config":    2,
+			"cache-corrupt":     1,
+			"budget-exceeded":   1,
+			"misaligned-window": 1,
+			"interrupted":       1,
+		},
+	}
+	want := "errors by kind: budget-exceeded=1 cache-corrupt=1 interrupted=1 invalid-config=2 misaligned-window=1 run-panicked=1"
+	first := r.Summary()
+	if !strings.Contains(first, want) {
+		t.Errorf("Summary() = %q, want it to contain %q", first, want)
+	}
+	for i := 0; i < 50; i++ {
+		if got := r.Summary(); got != first {
+			t.Fatalf("Summary() unstable: %q vs %q", got, first)
+		}
+	}
+}

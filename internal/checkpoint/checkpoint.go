@@ -22,6 +22,7 @@ import (
 	"pgss/internal/branch"
 	"pgss/internal/cache"
 	"pgss/internal/cpu"
+	"pgss/internal/pgsserrors"
 )
 
 // Checkpoint is one captured simulator state.
@@ -92,7 +93,7 @@ type Library struct {
 // checkpoint is a warm starting point — the live-point property.
 func Record(c *cpu.Core, strideOps, maxOps uint64) (*Library, error) {
 	if strideOps == 0 {
-		return nil, fmt.Errorf("checkpoint: zero stride")
+		return nil, pgsserrors.Invalidf("checkpoint: zero stride")
 	}
 	lib := &Library{strideOps: strideOps}
 	lib.checkpoints = append(lib.checkpoints, Capture(c))
@@ -142,7 +143,7 @@ func (l *Library) Seek(c *cpu.Core, pos uint64) (warmOps uint64, err error) {
 	var r cpu.Retired
 	for c.M.Retired() < pos {
 		if !c.StepWarm(&r) {
-			return warmOps, fmt.Errorf("checkpoint: program ended at %d before position %d",
+			return warmOps, pgsserrors.Invalidf("checkpoint: program ended at %d before position %d",
 				c.M.Retired(), pos)
 		}
 		warmOps++
@@ -161,7 +162,7 @@ func (l *Library) SampleAt(c *cpu.Core, pos, warmup, sample uint64) (ipc float64
 	var r cpu.Retired
 	for i := uint64(0); i < warmup; i++ {
 		if !c.StepDetailed(&r) {
-			return 0, seekOps, fmt.Errorf("checkpoint: program ended during warm-up")
+			return 0, seekOps, pgsserrors.Invalidf("checkpoint: program ended during warm-up")
 		}
 	}
 	startCycles := c.T.Cycle()
@@ -173,7 +174,7 @@ func (l *Library) SampleAt(c *cpu.Core, pos, warmup, sample uint64) (ipc float64
 	}
 	cycles := c.T.Cycle() - startCycles
 	if cycles == 0 || done == 0 {
-		return 0, seekOps, fmt.Errorf("checkpoint: empty sample at %d", pos)
+		return 0, seekOps, pgsserrors.Invalidf("checkpoint: empty sample at %d", pos)
 	}
 	return float64(done) / float64(cycles), seekOps, nil
 }

@@ -253,7 +253,7 @@ func Best(t func() sampling.Target, sweep []Config) (best sampling.Result, all [
 		}
 	}
 	if best.Technique == "" {
-		return best, all, fmt.Errorf("pgss: no feasible configuration")
+		return best, all, fmt.Errorf("pgss: %w", pgsserrors.ErrInfeasible)
 	}
 	return best, all, nil
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"pgss/internal/isa"
+	"pgss/internal/pgsserrors"
 	"pgss/internal/program"
 )
 
@@ -175,7 +176,7 @@ func (m *Machine) Snapshot() MachineState {
 // program.
 func (m *Machine) Restore(s MachineState) error {
 	if len(s.Data) != len(m.data) {
-		return fmt.Errorf("cpu: snapshot data %d words, machine has %d", len(s.Data), len(m.data))
+		return pgsserrors.Invalidf("cpu: snapshot data %d words, machine has %d", len(s.Data), len(m.data))
 	}
 	m.regs = s.Regs
 	copy(m.data, s.Data)
@@ -300,7 +301,7 @@ func (m *Machine) Step(r *Retired) bool {
 		return true
 	default:
 		m.halted = true
-		m.err = fmt.Errorf("cpu: pc %d: unknown opcode %v", m.pc, in.Op)
+		m.err = pgsserrors.Invalidf("cpu: pc %d: unknown opcode %v", m.pc, in.Op)
 		return false
 	}
 

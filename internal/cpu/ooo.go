@@ -1,11 +1,10 @@
 package cpu
 
 import (
-	"fmt"
-
 	"pgss/internal/branch"
 	"pgss/internal/cache"
 	"pgss/internal/isa"
+	"pgss/internal/pgsserrors"
 )
 
 // OoOConfig parameterises the out-of-order timing model.
@@ -225,10 +224,10 @@ func (o *OoO) SnapshotState() any {
 func (o *OoO) RestoreState(s any) error {
 	st, ok := s.(OoOState)
 	if !ok {
-		return fmt.Errorf("cpu: OoO restore from %T", s)
+		return pgsserrors.Invalidf("cpu: OoO restore from %T", s)
 	}
 	if len(st.CommitRing) != len(o.commitRing) {
-		return fmt.Errorf("cpu: OoO ROB size mismatch")
+		return pgsserrors.Invalidf("cpu: OoO ROB size mismatch")
 	}
 	o.readyAt = st.ReadyAt
 	copy(o.commitRing, st.CommitRing)

@@ -1,11 +1,10 @@
 package cpu
 
 import (
-	"fmt"
-
 	"pgss/internal/branch"
 	"pgss/internal/cache"
 	"pgss/internal/isa"
+	"pgss/internal/pgsserrors"
 )
 
 // Latency table for the execution classes (issue-to-result cycles). Load
@@ -130,7 +129,7 @@ func (t *Timing) SnapshotState() any { return t.Snapshot() }
 func (t *Timing) RestoreState(s any) error {
 	st, ok := s.(TimingState)
 	if !ok {
-		return fmt.Errorf("cpu: in-order restore from %T", s)
+		return pgsserrors.Invalidf("cpu: in-order restore from %T", s)
 	}
 	t.Restore(st)
 	return nil
@@ -276,7 +275,7 @@ func NewPipelineParts(cfg CoreConfig) (Pipeline, *cache.Hierarchy, *branch.Unit,
 	case "ooo":
 		return NewOoO(cfg.Timing.OoO, hier, bp), hier, bp, nil
 	default:
-		return nil, nil, nil, fmt.Errorf("cpu: unknown timing model %q", cfg.Timing.Model)
+		return nil, nil, nil, pgsserrors.Invalidf("cpu: unknown timing model %q", cfg.Timing.Model)
 	}
 }
 
@@ -305,7 +304,7 @@ func NewCoreWithHierarchy(m *Machine, cfg CoreConfig, hier *cache.Hierarchy) (*C
 	case "ooo":
 		pipe = NewOoO(cfg.Timing.OoO, hier, bp)
 	default:
-		return nil, fmt.Errorf("cpu: unknown timing model %q", cfg.Timing.Model)
+		return nil, pgsserrors.Invalidf("cpu: unknown timing model %q", cfg.Timing.Model)
 	}
 	return &Core{
 		M:        m,

@@ -41,6 +41,14 @@ var (
 	// ErrInterrupted marks a run cut short by campaign-level cancellation
 	// (SIGINT or parent-context cancel), as opposed to its own budget.
 	ErrInterrupted = errors.New("run interrupted")
+
+	// ErrInfeasible marks a sweep or auto-tuner that found no
+	// configuration meeting its constraints (error bound within sample
+	// budget). Deterministic for a given workload, hence not retryable;
+	// distinct from ErrInvalidConfig because every individual
+	// configuration was valid — the constraints were collectively
+	// unsatisfiable.
+	ErrInfeasible = errors.New("no feasible configuration")
 )
 
 // Invalidf wraps ErrInvalidConfig with formatted detail.
@@ -56,6 +64,11 @@ func Misalignedf(format string, args ...any) error {
 // Corruptf wraps ErrCacheCorrupt with formatted detail.
 func Corruptf(format string, args ...any) error {
 	return fmt.Errorf("%w: "+format, prepend(ErrCacheCorrupt, args)...)
+}
+
+// Infeasiblef wraps ErrInfeasible with formatted detail.
+func Infeasiblef(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, prepend(ErrInfeasible, args)...)
 }
 
 func prepend(err error, args []any) []any {
@@ -112,6 +125,8 @@ func Kind(err error) string {
 		return "run-panicked"
 	case errors.Is(err, ErrInterrupted):
 		return "interrupted"
+	case errors.Is(err, ErrInfeasible):
+		return "infeasible"
 	default:
 		return "other"
 	}

@@ -24,6 +24,7 @@ func TestTaxonomyTable(t *testing.T) {
 		{"cache-corrupt", ErrCacheCorrupt, func() error { return Corruptf("bad magic %x", 0xdead) }, "cache-corrupt", true},
 		{"run-panicked", ErrRunPanicked, nil, "run-panicked", false},
 		{"interrupted", ErrInterrupted, nil, "interrupted", false},
+		{"infeasible", ErrInfeasible, func() error { return Infeasiblef("best err %.1f%% over budget %d", 9.3, 16) }, "infeasible", false},
 	}
 	for _, s := range sentinels {
 		t.Run(s.name, func(t *testing.T) {
@@ -70,6 +71,7 @@ func TestKindDistinctness(t *testing.T) {
 		"cache-corrupt":     ErrCacheCorrupt,
 		"run-panicked":      ErrRunPanicked,
 		"interrupted":       ErrInterrupted,
+		"infeasible":        ErrInfeasible,
 	}
 	for wantKind, sentinel := range all {
 		if got := Kind(sentinel); got != wantKind {
@@ -114,6 +116,7 @@ func TestHelpersFormatDetail(t *testing.T) {
 		{Invalidf("eps %g", 0.0), "invalid configuration: eps 0"},
 		{Misalignedf("window %d", 1500), "misaligned window: window 1500"},
 		{Corruptf("magic %x", 0xab), "cache corrupt: magic ab"},
+		{Infeasiblef("%d configs tried", 12), "no feasible configuration: 12 configs tried"},
 	}
 	for _, c := range cases {
 		if got := c.err.Error(); got != c.want {

@@ -6,10 +6,10 @@
 package phase
 
 import (
-	"fmt"
 	"math"
 
 	"pgss/internal/bbv"
+	"pgss/internal/pgsserrors"
 	"pgss/internal/stats"
 )
 
@@ -94,7 +94,7 @@ func NewTable(thresholdRad float64) (*Table, error) {
 		thresholdRad = math.Pi / 2
 	}
 	if thresholdRad < 0 || thresholdRad > math.Pi/2 {
-		return nil, fmt.Errorf("phase: threshold %g outside [0, π/2]", thresholdRad)
+		return nil, pgsserrors.Invalidf("phase: threshold %g outside [0, π/2]", thresholdRad)
 	}
 	return &Table{threshold: thresholdRad, CheckCurrentFirst: true}, nil
 }

@@ -79,7 +79,7 @@ func OnlineSimPoint(p *profile.Profile, cfg OnlineSimPointConfig) (Result, error
 		return res, err
 	}
 	if len(vectors) == 0 {
-		return res, fmt.Errorf("sampling: online simpoint: no intervals")
+		return res, pgsserrors.Invalidf("sampling: online simpoint: no intervals")
 	}
 	table := phase.MustNewTable(cfg.ThresholdPi * 3.141592653589793)
 	ids := table.ClassifySeries(vectors, cfg.IntervalOps)
@@ -143,7 +143,7 @@ func OnlineSimPointBest(p *profile.Profile, sweep []OnlineSimPointConfig) (best 
 		}
 	}
 	if best.Technique == "" {
-		return best, all, fmt.Errorf("sampling: online simpoint: no feasible configuration")
+		return best, all, fmt.Errorf("sampling: online simpoint: %w", pgsserrors.ErrInfeasible)
 	}
 	return best, all, nil
 }

@@ -102,7 +102,7 @@ func SimPoint(p *profile.Profile, cfg SimPointConfig) (Result, error) {
 		return res, err
 	}
 	if len(vectors) == 0 {
-		return res, fmt.Errorf("sampling: simpoint: no intervals (program of %d ops, interval %d)",
+		return res, pgsserrors.Invalidf("sampling: simpoint: no intervals (program of %d ops, interval %d)",
 			p.TotalOps, cfg.IntervalOps)
 	}
 	cl, err := cluster.KMeans(vectors, cluster.Config{
@@ -177,7 +177,7 @@ func SimPointAuto(p *profile.Profile, intervalOps uint64, maxK int, seed int64) 
 		return Result{}, err
 	}
 	if len(vectors) == 0 {
-		return Result{}, fmt.Errorf("sampling: simpoint auto: no intervals")
+		return Result{}, pgsserrors.Invalidf("sampling: simpoint auto: no intervals")
 	}
 	bestK, bestBIC := 1, 0.0
 	for k := 1; k <= maxK && k <= len(vectors); k++ {
@@ -214,7 +214,7 @@ func SimPointBest(p *profile.Profile, sweep []SimPointConfig) (best Result, all 
 		}
 	}
 	if best.Technique == "" {
-		return best, all, fmt.Errorf("sampling: simpoint: no feasible configuration")
+		return best, all, fmt.Errorf("sampling: simpoint: %w", pgsserrors.ErrInfeasible)
 	}
 	return best, all, nil
 }

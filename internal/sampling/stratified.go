@@ -110,7 +110,7 @@ func Stratified(p *profile.Profile, cfg StratifiedConfig) (Result, error) {
 		n = len(vectors)
 	}
 	if n == 0 {
-		return res, fmt.Errorf("sampling: stratified: no intervals")
+		return res, pgsserrors.Invalidf("sampling: stratified: no intervals")
 	}
 	table := phase.MustNewTable(cfg.ThresholdPi * math.Pi)
 	ids := table.ClassifySeries(vectors[:n], cfg.IntervalOps)

@@ -81,7 +81,7 @@ func TurboSMARTS(p *profile.Profile, cfg TurboSMARTSConfig) (Result, error) {
 		TrueIPC:   p.TrueIPC(),
 	}
 	if len(pop) == 0 {
-		return res, fmt.Errorf("sampling: turbosmarts: empty sample population")
+		return res, pgsserrors.Invalidf("sampling: turbosmarts: empty sample population")
 	}
 	order := rand.New(rand.NewSource(cfg.Seed)).Perm(len(pop))
 	z := stats.ConfidenceZ(cfg.Confidence)

@@ -1,0 +1,96 @@
+package validate
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// determinismCases builds a fixed set of case results with a mix of clean
+// runs, violations and resumed cases — enough variety to exercise every
+// aggregate path in finish.
+func determinismCases() []CaseResult {
+	out := make([]CaseResult, 0, 8)
+	for i := 0; i < 8; i++ {
+		cr := CaseResult{
+			Seed:      int64(100 + i),
+			Benchmark: fmt.Sprintf("bench-%d", i%3),
+			TrueIPC:   1.0,
+			ErrPct:    float64(i) * 1.5,
+			Samples:   uint64(10 + i),
+			Phases:    i%4 + 1,
+			Resumed:   i%2 == 0,
+		}
+		cr.EstimatedIPC = 1.0 + cr.ErrPct/100
+		if i == 3 {
+			cr.violate("serial-parallel-result", "IPC %.3f vs %.3f", 1.1, 1.2)
+		}
+		if i == 5 {
+			cr.violate("resume-consistency", "journal IPC drifted")
+			cr.violate("serial-parallel-result", "IPC %.3f vs %.3f", 0.9, 1.4)
+		}
+		out = append(out, cr)
+	}
+	return out
+}
+
+// TestReportJSONOrderIndependent pins the report-determinism invariant
+// pgss-lint's maporder analyzer guards statically: the rendered JSON must
+// be byte-identical no matter in which order the (concurrent) case workers
+// delivered their results.
+func TestReportJSONOrderIndependent(t *testing.T) {
+	opts := Options{Cases: 8, Seed: 100, MaxMeanErrPct: 6.0, MaxCaseErrPct: 35.0}
+	cases := determinismCases()
+
+	build := func(perm []int) []byte {
+		r := NewReport(opts)
+		for _, idx := range perm {
+			r.add(cases[idx])
+		}
+		r.finish(opts)
+		b, err := r.JSON()
+		if err != nil {
+			t.Fatalf("JSON: %v", err)
+		}
+		return b
+	}
+
+	perms := [][]int{
+		{0, 1, 2, 3, 4, 5, 6, 7}, // input order
+		{7, 6, 5, 4, 3, 2, 1, 0}, // reversed
+		{3, 7, 0, 5, 2, 6, 1, 4}, // interleaved
+		{5, 3, 1, 7, 6, 0, 4, 2}, // another shuffle
+		{4, 5, 6, 7, 0, 1, 2, 3}, // rotated
+	}
+	want := build(perms[0])
+	for _, p := range perms[1:] {
+		if got := build(p); !bytes.Equal(got, want) {
+			t.Errorf("report JSON differs for completion order %v:\n got: %s\nwant: %s", p, got, want)
+		}
+	}
+}
+
+// TestReportFprintOrderIndependent does the same for the human-readable
+// rendering, which enumerates violations.
+func TestReportFprintOrderIndependent(t *testing.T) {
+	opts := Options{Cases: 8, Seed: 100, MaxMeanErrPct: 6.0, MaxCaseErrPct: 35.0}
+	cases := determinismCases()
+
+	render := func(perm []int) string {
+		r := NewReport(opts)
+		for _, idx := range perm {
+			r.add(cases[idx])
+		}
+		r.finish(opts)
+		var buf bytes.Buffer
+		r.Fprint(&buf)
+		return buf.String()
+	}
+
+	want := render([]int{0, 1, 2, 3, 4, 5, 6, 7})
+	for _, p := range [][]int{{7, 6, 5, 4, 3, 2, 1, 0}, {2, 5, 0, 7, 3, 6, 1, 4}} {
+		if got := render(p); got != want {
+			t.Errorf("report text differs for completion order %v:\n got: %s\nwant: %s", p, got, want)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"pgss/internal/pgsserrors"
 )
 
 // Working-set presets in 64-bit words against the default hierarchy
@@ -76,7 +78,7 @@ func Names() []string {
 func Get(name string) (*Spec, error) {
 	s, ok := registry[name]
 	if !ok {
-		return nil, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
+		return nil, pgsserrors.Invalidf("workload: unknown benchmark %q (have %v)", name, Names())
 	}
 	return s, nil
 }

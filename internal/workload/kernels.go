@@ -13,6 +13,7 @@ import (
 	"math/rand"
 
 	"pgss/internal/isa"
+	"pgss/internal/pgsserrors"
 	"pgss/internal/program"
 )
 
@@ -108,7 +109,7 @@ type built struct {
 func (ks KernelSpec) emit(b *program.Builder, rng *rand.Rand) (built, error) {
 	if ks.Kind != Compute {
 		if ks.WSWords <= 0 || ks.WSWords&(ks.WSWords-1) != 0 {
-			return built{}, fmt.Errorf("workload: kernel %s: working set %d not a power of two",
+			return built{}, pgsserrors.Invalidf("workload: kernel %s: working set %d not a power of two",
 				ks.Name, ks.WSWords)
 		}
 	}
@@ -162,7 +163,7 @@ func (ks KernelSpec) emit(b *program.Builder, rng *rand.Rand) (built, error) {
 	case initSweep:
 		bodyOps = ks.emitInitBody(b, bi.label)
 	default:
-		err = fmt.Errorf("workload: kernel %s: unknown kind %v", ks.Name, ks.Kind)
+		err = pgsserrors.Invalidf("workload: kernel %s: unknown kind %v", ks.Name, ks.Kind)
 	}
 	if err != nil {
 		return built{}, err

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"pgss/internal/isa"
+	"pgss/internal/pgsserrors"
 	"pgss/internal/program"
 )
 
@@ -69,7 +70,7 @@ func (s *Spec) Build(totalOps uint64) (*program.Program, error) {
 		totalOps = s.DefaultOps
 	}
 	if len(s.Kernels) == 0 {
-		return nil, fmt.Errorf("workload %s: no kernels", s.Name)
+		return nil, pgsserrors.Invalidf("workload %s: no kernels", s.Name)
 	}
 	rng := rand.New(rand.NewSource(s.Seed))
 	b := program.NewBuilder(s.Name)
@@ -111,11 +112,11 @@ func (s *Spec) Build(totalOps uint64) (*program.Program, error) {
 	for rep := 0; planned < totalOps; rep++ {
 		cycle := s.Pattern(rng, rep)
 		if len(cycle) == 0 {
-			return nil, fmt.Errorf("workload %s: empty pattern at rep %d", s.Name, rep)
+			return nil, pgsserrors.Invalidf("workload %s: empty pattern at rep %d", s.Name, rep)
 		}
 		for _, seg := range cycle {
 			if seg.Kernel < 0 || seg.Kernel >= initIdx {
-				return nil, fmt.Errorf("workload %s: segment kernel %d out of range", s.Name, seg.Kernel)
+				return nil, pgsserrors.Invalidf("workload %s: segment kernel %d out of range", s.Name, seg.Kernel)
 			}
 			segs = append(segs, seg)
 			planned += seg.Ops
@@ -179,7 +180,7 @@ type BuiltKernelInfo struct {
 // It returns the program and the kernel's declared constants.
 func (s *Spec) CalibrationProgram(k int, iters uint64) (*program.Program, BuiltKernelInfo, error) {
 	if k < 0 || k >= len(s.Kernels) {
-		return nil, BuiltKernelInfo{}, fmt.Errorf("workload %s: kernel %d out of range", s.Name, k)
+		return nil, BuiltKernelInfo{}, pgsserrors.Invalidf("workload %s: kernel %d out of range", s.Name, k)
 	}
 	rng := rand.New(rand.NewSource(s.Seed))
 	b := program.NewBuilder(s.Name + "_cal")
