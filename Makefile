@@ -8,7 +8,7 @@ COVER_FLOOR ?= 68.0
 # Per-target budget for `make fuzz-smoke` (4 targets; CI budgets 60s total).
 FUZZTIME ?= 15s
 
-.PHONY: build test vet fmt-check lint lint-custom lint-fix vuln race bench bench-json bench-check cover fuzz-smoke validate ci clean
+.PHONY: build test vet fmt-check lint lint-custom lint-fix vuln race bench bench-json bench-check cover fuzz-smoke validate chaos-smoke ci clean
 
 build:
 	$(GO) build ./...
@@ -100,7 +100,13 @@ fuzz-smoke:
 validate:
 	$(GO) run ./cmd/pgss-validate -cases 200 -seed 1
 
-ci: build vet fmt-check lint test race validate
+# Chaos harness smoke: seeded campaigns under injected faults (torn journal
+# writes, dropped fsyncs, worker panics/stalls, power loss) must degrade
+# gracefully and resume to results bit-identical to an uninterrupted run.
+chaos-smoke:
+	$(GO) run ./cmd/pgss-chaos -seeds 10 -seed 100
+
+ci: build vet fmt-check lint test race validate chaos-smoke
 
 clean:
 	$(GO) clean ./...

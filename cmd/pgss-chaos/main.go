@@ -1,0 +1,75 @@
+// Command pgss-chaos runs the chaos harness: seeded campaigns executed
+// under deterministic fault schedules — torn journal writes, ENOSPC,
+// dropped fsyncs, worker panics and stalls, cancellation, power loss —
+// asserting that every scenario degrades gracefully and resumes to results
+// bit-identical to an uninterrupted run.
+//
+// Usage:
+//
+//	pgss-chaos                      # the standard smoke set
+//	pgss-chaos -seeds 50 -seed 1000 # a wider seeded sweep
+//	pgss-chaos -replay 1007         # re-run one failing scenario verbosely
+//
+// The exit code is 0 only if every scenario converged to baseline-identical
+// results. A failure prints the scenario's seed and fired-fault log;
+// `pgss-chaos -replay <seed>` reproduces that schedule.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pgss/internal/chaos"
+)
+
+func main() {
+	seeds := flag.Int("seeds", 10, "number of generated scenarios")
+	base := flag.Int64("seed", 100, "base seed; scenario i uses seed+i")
+	replay := flag.Int64("replay", 0, "re-run the single scenario with this seed (verbose) and exit")
+	verbose := flag.Bool("v", false, "print per-life progress")
+	flag.Parse()
+
+	logf := func(string, ...any) {}
+	if *verbose || *replay != 0 {
+		logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format, args...) }
+	}
+
+	h, err := chaos.NewHarness(logf)
+	if err != nil {
+		fatal(err)
+	}
+	baseline, err := h.Baseline()
+	if err != nil {
+		fatal(err)
+	}
+
+	var scenarios []chaos.Scenario
+	if *replay != 0 {
+		scenarios = []chaos.Scenario{chaos.GenScenario(*replay)}
+	} else {
+		for i := 0; i < *seeds; i++ {
+			scenarios = append(scenarios, chaos.GenScenario(*base+int64(i)))
+		}
+	}
+
+	failed := 0
+	for _, sc := range scenarios {
+		out, err := h.Run(sc, baseline)
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "FAIL %s (seed %d): %v\n", sc.Name, sc.Seed, err)
+			continue
+		}
+		fmt.Printf("ok   %s\n", out)
+	}
+	if failed > 0 {
+		fatal(fmt.Errorf("chaos: %d/%d scenarios failed", failed, len(scenarios)))
+	}
+	fmt.Printf("chaos: %d scenarios converged to baseline-identical results\n", len(scenarios))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pgss-chaos:", err)
+	os.Exit(1)
+}

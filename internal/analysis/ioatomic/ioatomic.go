@@ -1,0 +1,119 @@
+// Package ioatomic enforces crash-consistent storage inside the engine
+// packages: every file write must go through the atomic-write helper
+// (faultinject.WriteAtomic — temp file, fsync, rename), never a direct
+// create-and-write.
+//
+// A direct write torn by a crash leaves a half-written profile cache or
+// checkpoint library that the next run must detect and heal; an atomic
+// write either publishes the whole file or leaves the old one untouched.
+// Flagged forms inside engine packages:
+//
+//   - os.Create, os.WriteFile (always writes),
+//   - os.OpenFile with a write-mode flag (O_WRONLY, O_RDWR, O_APPEND,
+//     O_CREATE, O_TRUNC),
+//   - OpenFile method calls on a faultinject filesystem with a write-mode
+//     flag.
+//
+// Read-only opens (os.Open, O_RDONLY) are unrestricted. The helper's own
+// package is exempt — it is the one place allowed to open files for
+// writing. Deliberate exceptions (an append-only journal with its own
+// framing, for instance) carry a //pgss:allow ioatomic suppression.
+package ioatomic
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"pgss/internal/analysis"
+)
+
+const helperPath = "pgss/internal/faultinject"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ioatomic",
+	Doc: "engine file writes must use faultinject.WriteAtomic " +
+		"(temp+fsync+rename), never direct create-and-write",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsEngine(pass.Pkg.Path()) || pass.Pkg.Path() == helperPath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case isPkgCall(pass, call, "os", "Create"), isPkgCall(pass, call, "os", "WriteFile"):
+				pass.Reportf(call.Pos(),
+					"direct file write in engine package %s bypasses the atomic-write helper; "+
+						"use faultinject.WriteAtomic (temp+fsync+rename)", pass.Pkg.Path())
+			case isPkgCall(pass, call, "os", "OpenFile") && callHasWriteFlag(call, 1):
+				pass.Reportf(call.Pos(),
+					"os.OpenFile with a write flag in engine package %s bypasses the atomic-write "+
+						"helper; use faultinject.WriteAtomic (temp+fsync+rename)", pass.Pkg.Path())
+			case isFSOpenFile(pass, call) && callHasWriteFlag(call, 1):
+				pass.Reportf(call.Pos(),
+					"FS.OpenFile with a write flag in engine package %s bypasses the atomic-write "+
+						"helper; use faultinject.WriteAtomic (temp+fsync+rename)", pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isPkgCall reports whether call invokes pkgPath.name.
+func isPkgCall(pass *analysis.Pass, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}
+
+// isFSOpenFile reports whether call is an OpenFile method call on a value
+// whose static type comes from the faultinject package (the FS interface
+// or a concrete filesystem).
+func isFSOpenFile(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "OpenFile" {
+		return false
+	}
+	tv := pass.TypesInfo.TypeOf(sel.X)
+	if tv == nil {
+		return false
+	}
+	return strings.Contains(tv.String(), helperPath+".")
+}
+
+// callHasWriteFlag reports whether the call's argIdx argument mentions a
+// write-mode os flag anywhere in its expression. Pure reads (os.O_RDONLY,
+// a literal 0) stay unflagged.
+func callHasWriteFlag(call *ast.CallExpr, argIdx int) bool {
+	if len(call.Args) <= argIdx {
+		return false
+	}
+	found := false
+	ast.Inspect(call.Args[argIdx], func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		switch id.Name {
+		case "O_WRONLY", "O_RDWR", "O_APPEND", "O_CREATE", "O_TRUNC":
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,21 @@
+package ioatomic
+
+import (
+	"testing"
+
+	"pgss/internal/analysis/analysistest"
+)
+
+func TestEngineScope(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/engine", "pgss/internal/profile")
+}
+
+func TestOutsideScope(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/outside", "pgss/internal/campaign")
+}
+
+func TestHelperPackageExempt(t *testing.T) {
+	// The helper's own package opens files for writing by design; running
+	// the engine testdata under its import path must report nothing.
+	analysistest.Run(t, Analyzer, "testdata/exempt", "pgss/internal/faultinject")
+}

@@ -1,0 +1,56 @@
+// Package engine is ioatomic testdata type-checked under an engine import
+// path.
+package engine
+
+import (
+	"io"
+	"os"
+
+	"pgss/internal/faultinject"
+)
+
+func create(path string) {
+	os.Create(path) // want "direct file write in engine package"
+}
+
+func writeFile(path string, b []byte) {
+	os.WriteFile(path, b, 0o644) // want "direct file write in engine package"
+}
+
+func openWrite(path string) {
+	os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644) // want "os.OpenFile with a write flag"
+}
+
+func openAppend(path string) {
+	os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644) // want "os.OpenFile with a write flag"
+}
+
+// openRead is a pure read: allowed.
+func openRead(path string) (*os.File, error) {
+	return os.Open(path)
+}
+
+// openReadOnly spells the mode out: still a read, allowed.
+func openReadOnly(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDONLY, 0)
+}
+
+func fsWrite(fsys faultinject.FS, path string) {
+	fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644) // want "FS.OpenFile with a write flag"
+}
+
+// fsRead opens through the injectable filesystem read-only: allowed.
+func fsRead(fsys faultinject.FS, path string) (faultinject.File, error) {
+	return fsys.OpenFile(path, os.O_RDONLY, 0)
+}
+
+// atomic is the blessed path: allowed.
+func atomic(fsys faultinject.FS, path string) error {
+	return faultinject.WriteAtomic(fsys, path, 0o644, func(io.Writer) error { return nil })
+}
+
+// suppressed proves the escape hatch: an append-only journal with its own
+// framing and per-record fsync is a deliberate exception.
+func suppressed(path string) {
+	os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644) //pgss:allow ioatomic journal appends its own framed records
+}

@@ -1,0 +1,9 @@
+// Package exempt is ioatomic testdata type-checked under the helper's own
+// import path, where write-mode opens are the analyzer's one exemption.
+package exempt
+
+import "os"
+
+func openWrite(path string) {
+	os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}

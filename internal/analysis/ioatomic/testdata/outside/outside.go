@@ -1,0 +1,17 @@
+// Package outside is ioatomic testdata type-checked under a non-engine
+// import path: direct writes are unrestricted here.
+package outside
+
+import "os"
+
+func create(path string) {
+	os.Create(path)
+}
+
+func writeFile(path string, b []byte) {
+	os.WriteFile(path, b, 0o644)
+}
+
+func openWrite(path string) {
+	os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}

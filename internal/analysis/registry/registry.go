@@ -8,6 +8,7 @@ import (
 	"pgss/internal/analysis/ctxflow"
 	"pgss/internal/analysis/errwrap"
 	"pgss/internal/analysis/goroutines"
+	"pgss/internal/analysis/ioatomic"
 	"pgss/internal/analysis/maporder"
 	"pgss/internal/analysis/mutexcopy"
 	"pgss/internal/analysis/nodeterminism"
@@ -23,6 +24,7 @@ func All() []*analysis.Analyzer {
 		ctxflow.Analyzer,
 		mutexcopy.Analyzer,
 		goroutines.Analyzer,
+		ioatomic.Analyzer,
 	}
 }
 

@@ -14,16 +14,20 @@ import (
 // Deliberately absent: campaign and experiments (wall-clock timing,
 // jittered retry backoff and progress logging are their job), validate
 // (drives wall-clock campaign machinery), the cmd/ mains and examples.
+// faultinject is IN the set: fault schedules must replay from a seed, so
+// the package is deterministic by construction (its Clock interface is
+// implemented with a wall clock only outside the engine, in campaign).
 var enginePaths = map[string]bool{
-	"pgss/internal/core":       true,
-	"pgss/internal/parallel":   true,
-	"pgss/internal/sampling":   true,
-	"pgss/internal/phase":      true,
-	"pgss/internal/bbv":        true,
-	"pgss/internal/checkpoint": true,
-	"pgss/internal/profile":    true,
-	"pgss/internal/cpu":        true,
-	"pgss/internal/workload":   true,
+	"pgss/internal/core":        true,
+	"pgss/internal/parallel":    true,
+	"pgss/internal/sampling":    true,
+	"pgss/internal/phase":       true,
+	"pgss/internal/bbv":         true,
+	"pgss/internal/checkpoint":  true,
+	"pgss/internal/profile":     true,
+	"pgss/internal/cpu":         true,
+	"pgss/internal/faultinject": true,
+	"pgss/internal/workload":    true,
 }
 
 // IsEngine reports whether path is one of the deterministic engine

@@ -1,0 +1,90 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"pgss/internal/pgsserrors"
+	"pgss/internal/sampling"
+)
+
+// Breaker is a campaign-wide circuit breaker over the parallel engine.
+// Every run records its outcome; once Threshold consecutive runs fail for
+// environmental reasons (I/O, stalls, panics — anything except invalid
+// configuration or interruption), the breaker opens and stays open: the
+// parallel engine is degraded for the rest of the campaign rather than
+// fed runs it keeps poisoning. Serial execution is the safe fallback — it
+// is slower but has no shard workers, no sample pool and no watchdog to go
+// wrong, and produces bit-identical results.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that opens the breaker
+	// (default 3 when zero).
+	Threshold int
+
+	mu     sync.Mutex
+	fails  int
+	open   bool
+	reason error
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold <= 0 {
+		return 3
+	}
+	return b.Threshold
+}
+
+// Open reports whether the breaker has tripped; Reason returns the failure
+// that tripped it (nil while closed).
+func (b *Breaker) Open() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open
+}
+
+func (b *Breaker) Reason() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.reason
+}
+
+// record feeds one run outcome into the trip logic.
+func (b *Breaker) record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.fails = 0
+		return
+	}
+	// Interruptions say nothing about engine health; config errors are the
+	// run's own fault and would fail serially too.
+	if errors.Is(err, pgsserrors.ErrInterrupted) || errors.Is(err, pgsserrors.ErrInvalidConfig) {
+		return
+	}
+	b.fails++
+	if !b.open && b.fails >= b.threshold() {
+		b.open = true
+		b.reason = err
+	}
+}
+
+// Degrade wraps a primary (parallel) RunFunc with a serial fallback behind
+// the breaker: runs use primary until it trips, then fallback for every
+// later run. logf (nil = silent) receives the one-time degradation notice.
+func (b *Breaker) Degrade(primary, fallback RunFunc, logf func(format string, args ...any)) RunFunc {
+	var notice sync.Once
+	return func(ctx context.Context, spec Spec) (sampling.Result, error) {
+		if b.Open() {
+			notice.Do(func() {
+				if logf != nil {
+					logf("campaign: circuit breaker open (%v): degrading to serial engine\n", b.Reason())
+				}
+			})
+			return fallback(ctx, spec)
+		}
+		res, err := primary(ctx, spec)
+		b.record(err)
+		return res, err
+	}
+}

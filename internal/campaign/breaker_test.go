@@ -1,0 +1,75 @@
+package campaign
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"pgss/internal/pgsserrors"
+	"pgss/internal/sampling"
+)
+
+// TestBreakerTripsAndDegrades: three consecutive environmental failures
+// open the breaker; every later run goes to the serial fallback and the
+// degradation is logged once.
+func TestBreakerTripsAndDegrades(t *testing.T) {
+	var primaryCalls, fallbackCalls atomic.Int64
+	primary := func(ctx context.Context, sp Spec) (sampling.Result, error) {
+		primaryCalls.Add(1)
+		return sampling.Result{}, pgsserrors.IOf("shard scratch space unwritable")
+	}
+	fallback := func(ctx context.Context, sp Spec) (sampling.Result, error) {
+		fallbackCalls.Add(1)
+		return sampling.Result{EstimatedIPC: 1}, nil
+	}
+	var logs []string
+	b := &Breaker{}
+	fn := b.Degrade(primary, fallback, func(f string, a ...any) { logs = append(logs, f) })
+
+	sp := Spec{Benchmark: "gcc", Technique: "simpoint"}
+	for i := 0; i < 5; i++ {
+		fn(context.Background(), sp)
+	}
+	if got := primaryCalls.Load(); got != 3 {
+		t.Errorf("primary called %d times, want 3 (trip threshold)", got)
+	}
+	if got := fallbackCalls.Load(); got != 2 {
+		t.Errorf("fallback called %d times, want 2", got)
+	}
+	if !b.Open() || b.Reason() == nil {
+		t.Error("breaker not open with a reason after repeated failures")
+	}
+	if len(logs) != 1 || !strings.Contains(logs[0], "degrading") {
+		t.Errorf("degradation notice logged %d times: %q", len(logs), logs)
+	}
+}
+
+// TestBreakerSuccessResets: successes between failures keep the breaker
+// closed — only *consecutive* failures trip it.
+func TestBreakerSuccessResets(t *testing.T) {
+	b := &Breaker{Threshold: 2}
+	b.record(pgsserrors.IOf("hiccup"))
+	b.record(nil)
+	b.record(pgsserrors.IOf("hiccup"))
+	b.record(nil)
+	if b.Open() {
+		t.Fatal("breaker tripped on non-consecutive failures")
+	}
+	b.record(pgsserrors.Stalledf("stuck"))
+	b.record(pgsserrors.Stalledf("stuck"))
+	if !b.Open() {
+		t.Fatal("breaker closed after consecutive failures")
+	}
+}
+
+// TestBreakerIgnoresInterruptions: cancellation and config errors say
+// nothing about engine health and must not trip the breaker.
+func TestBreakerIgnoresInterruptions(t *testing.T) {
+	b := &Breaker{Threshold: 1}
+	b.record(pgsserrors.Invalidf("bad period"))
+	b.record(pgsserrors.ErrInterrupted)
+	if b.Open() {
+		t.Fatal("breaker tripped on interruption/config errors")
+	}
+}

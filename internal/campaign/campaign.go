@@ -25,9 +25,21 @@ import (
 	"sync"
 	"time"
 
+	"pgss/internal/faultinject"
 	"pgss/internal/pgsserrors"
 	"pgss/internal/sampling"
 )
+
+// wallClock is the production faultinject.Clock: real time. It lives here
+// rather than in faultinject so that package stays clock-free and passes
+// the engine-scope nodeterminism analyzer.
+type wallClock struct{}
+
+func (wallClock) Now() time.Time                         { return time.Now() }
+func (wallClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// WallClock returns the real-time Clock used when Options.Clock is nil.
+func WallClock() faultinject.Clock { return wallClock{} }
 
 // Spec identifies one run of a campaign.
 type Spec struct {
@@ -102,8 +114,20 @@ type Options struct {
 	// Logf receives progress lines (nil = silent).
 	Logf func(format string, args ...any)
 
+	// FS is the filesystem the journal lives on (nil = the real OS
+	// filesystem). Chaos tests swap in a faultinject.MemFS or Injector.
+	FS faultinject.FS
+	// Hooks, when non-nil, fires injected failures (error, panic, stall,
+	// cancel) at the campaign.run point inside each attempt. A stall blocks
+	// until the attempt's context dies, so schedules that inject stalls
+	// should set Timeout.
+	Hooks *faultinject.Hooks
+	// Clock supplies time for elapsed measurement and backoff waits (nil =
+	// wall clock).
+	Clock faultinject.Clock
+
 	// sleep intercepts backoff waits (tests). Defaults to a
-	// context-sensitive timer wait.
+	// context-sensitive wait on Clock.After.
 	sleep func(ctx context.Context, d time.Duration)
 }
 
@@ -188,13 +212,17 @@ func Run(ctx context.Context, specs []Spec, fn RunFunc, opts Options) (*Report, 
 	if opts.Backoff <= 0 {
 		opts.Backoff = 100 * time.Millisecond
 	}
+	if opts.FS == nil {
+		opts.FS = faultinject.OS()
+	}
+	if opts.Clock == nil {
+		opts.Clock = wallClock{}
+	}
 	if opts.sleep == nil {
 		opts.sleep = func(ctx context.Context, d time.Duration) {
-			t := time.NewTimer(d)
-			defer t.Stop()
 			select {
 			case <-ctx.Done():
-			case <-t.C:
+			case <-opts.Clock.After(d):
 			}
 		}
 	}
@@ -209,13 +237,14 @@ func Run(ctx context.Context, specs []Spec, fn RunFunc, opts Options) (*Report, 
 	var journal *journalWriter
 	if opts.JournalPath != "" {
 		var err error
+		var goodLen int64
 		if opts.Resume {
-			done, err = replayJournal(opts.JournalPath, opts.logf)
+			done, goodLen, err = replayJournal(opts.FS, opts.JournalPath, opts.logf)
 			if err != nil {
 				return nil, fmt.Errorf("campaign: resume: %w", err)
 			}
 		}
-		journal, err = openJournal(opts.JournalPath, opts.Resume)
+		journal, err = openJournal(opts.FS, opts.JournalPath, opts.Resume, goodLen)
 		if err != nil {
 			return nil, fmt.Errorf("campaign: journal: %w", err)
 		}
@@ -277,14 +306,14 @@ func Run(ctx context.Context, specs []Spec, fn RunFunc, opts Options) (*Report, 
 // classification, journaling.
 func execute(ctx context.Context, sp Spec, fn RunFunc, opts Options, journal *journalWriter) Outcome {
 	out := Outcome{Spec: sp}
-	start := time.Now()
+	start := opts.Clock.Now()
 	for {
 		out.Attempts++
 		if err := ctx.Err(); err != nil {
 			out.Err = fmt.Errorf("%w before attempt %d: %v", pgsserrors.ErrInterrupted, out.Attempts, err)
 			break
 		}
-		res, err := attempt(ctx, sp, fn, opts.Timeout)
+		res, err := attempt(ctx, sp, fn, opts)
 		if err == nil {
 			out.Result = res
 			out.Err = nil // a successful retry clears earlier attempts' errors
@@ -301,7 +330,7 @@ func execute(ctx context.Context, sp Spec, fn RunFunc, opts Options, journal *jo
 			sp, out.Attempts, pgsserrors.Kind(err), delay, err)
 		opts.sleep(ctx, delay)
 	}
-	out.Elapsed = time.Since(start)
+	out.Elapsed = opts.Clock.Now().Sub(start)
 	out.ErrKind = pgsserrors.Kind(out.Err)
 
 	// Journal every terminal outcome except interruptions: an interrupted
@@ -319,11 +348,13 @@ func execute(ctx context.Context, sp Spec, fn RunFunc, opts Options, journal *jo
 }
 
 // attempt runs fn once under the per-run budget with panic recovery.
-func attempt(parent context.Context, sp Spec, fn RunFunc, timeout time.Duration) (res sampling.Result, err error) {
+// Injected hook faults fire here, inside the recovery scope, so an injected
+// panic is recovered exactly like a real one.
+func attempt(parent context.Context, sp Spec, fn RunFunc, opts Options) (res sampling.Result, err error) {
 	ctx := parent
-	if timeout > 0 {
+	if opts.Timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(parent, timeout)
+		ctx, cancel = context.WithTimeout(parent, opts.Timeout)
 		defer cancel()
 	}
 	defer func() {
@@ -331,6 +362,9 @@ func attempt(parent context.Context, sp Spec, fn RunFunc, timeout time.Duration)
 			err = fmt.Errorf("%w: %v\n%s", pgsserrors.ErrRunPanicked, r, debug.Stack())
 		}
 	}()
+	if err := opts.Hooks.Fire(ctx, faultinject.PointCampaignRun); err != nil {
+		return res, err
+	}
 	return fn(ctx, sp)
 }
 

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"pgss/internal/faultinject"
 	"pgss/internal/pgsserrors"
 	"pgss/internal/sampling"
 )
@@ -181,7 +182,7 @@ func TestResumeAfterSimulatedKill(t *testing.T) {
 
 	// Simulate the kill: journal holds specs[0] and specs[1] done, then a
 	// record for specs[2] torn mid-line.
-	w, err := openJournal(journal, false)
+	w, err := openJournal(faultinject.OS(), journal, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +306,7 @@ func TestCancelDrainsAndPreservesPartialResults(t *testing.T) {
 	}
 
 	// Only completed runs were journaled; resume re-runs the interrupted.
-	recs, err := replayJournal(journal, func(string, ...any) {})
+	recs, _, err := replayJournal(faultinject.OS(), journal, func(string, ...any) {})
 	if err != nil {
 		t.Fatal(err)
 	}

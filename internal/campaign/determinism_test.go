@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"pgss/internal/faultinject"
 	"pgss/internal/sampling"
 )
 
@@ -45,7 +46,7 @@ func TestJournalReplayOrderIndependent(t *testing.T) {
 	var want map[string]record
 	for i, p := range perms {
 		path := filepath.Join(t.TempDir(), "journal.jsonl")
-		w, err := openJournal(path, false)
+		w, err := openJournal(faultinject.OS(), path, false, 0)
 		if err != nil {
 			t.Fatalf("openJournal: %v", err)
 		}
@@ -57,7 +58,7 @@ func TestJournalReplayOrderIndependent(t *testing.T) {
 		if err := w.Close(); err != nil {
 			t.Fatalf("close: %v", err)
 		}
-		got, err := replayJournal(path, func(string, ...any) {})
+		got, _, err := replayJournal(faultinject.OS(), path, func(string, ...any) {})
 		if err != nil {
 			t.Fatalf("replayJournal: %v", err)
 		}

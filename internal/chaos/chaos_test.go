@@ -1,0 +1,119 @@
+package chaos
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"pgss/internal/campaign"
+	"pgss/internal/faultinject"
+)
+
+// TestSeededScenarios is the chaos table: twelve seeded fault schedules,
+// each asserting graceful degradation and bit-identical resume. The table
+// mixes generated scenarios with hand-picked extremes (fault-free, FS-only,
+// hook-only, heavy + power loss).
+func TestSeededScenarios(t *testing.T) {
+	h, err := NewHarness(t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := h.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scenarios := []Scenario{
+		{Name: "fault-free", Seed: 1, FSFaults: 0, HookFaults: 0},
+		{Name: "fs-only", Seed: 2, FSFaults: 4, HookFaults: 0, PowerLoss: true},
+		{Name: "hooks-only", Seed: 3, FSFaults: 0, HookFaults: 4},
+		{Name: "heavy-powerloss", Seed: 4, FSFaults: 4, HookFaults: 4, PowerLoss: true},
+	}
+	for seed := int64(100); seed < 108; seed++ {
+		scenarios = append(scenarios, GenScenario(seed))
+	}
+	if len(scenarios) < 10 {
+		t.Fatalf("scenario table has %d entries, want >= 10", len(scenarios))
+	}
+
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			out, err := h.Run(sc, baseline)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Log(out)
+			if sc.FSFaults == 0 && sc.HookFaults == 0 && out.Lives != 1 {
+				t.Errorf("fault-free scenario took %d lives, want 1", out.Lives)
+			}
+		})
+	}
+}
+
+// TestScenarioGenerationDeterministic: the same seed must always produce
+// the same scenario and fault schedules — the property that makes a chaos
+// failure reproducible from its seed alone.
+func TestScenarioGenerationDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a, b := GenScenario(seed), GenScenario(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: %+v != %+v", seed, a, b)
+		}
+		ra := faultinject.RandomSchedule(seed, 5, "")
+		rb := faultinject.RandomSchedule(seed, 5, "")
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("seed %d: FS schedule diverged at %d", seed, i)
+			}
+		}
+	}
+}
+
+// TestBreakerDegradesUnderPersistentFaults: a scenario whose parallel runs
+// keep failing must settle into the serial engine (breaker open) and still
+// produce baseline-identical results.
+func TestBreakerDegradesUnderPersistentFaults(t *testing.T) {
+	h, err := NewHarness(t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := h.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hand-arm a hook schedule of nothing but shard errors, staggered so
+	// one fires in each attempt (4 shards fire once per attempt): enough
+	// consecutive failures to trip the breaker inside one campaign life.
+	hooks := faultinject.NewHooks(
+		faultinject.HookRule{Point: faultinject.PointParallelShard, Action: faultinject.HookError, Nth: 1},
+		faultinject.HookRule{Point: faultinject.PointParallelShard, Action: faultinject.HookError, Nth: 5},
+		faultinject.HookRule{Point: faultinject.PointParallelShard, Action: faultinject.HookError, Nth: 9},
+	)
+	breaker := &campaign.Breaker{Threshold: 2}
+	rep, err := campaign.Run(context.Background(), h.specs, h.runFunc(hooks, breaker), campaign.Options{
+		Jobs:        1, // serialize so failures are consecutive
+		Timeout:     2 * time.Second,
+		MaxAttempts: 6,
+		Backoff:     time.Millisecond,
+		JournalPath: journalPath,
+		FS:          faultinject.NewMemFS(),
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.FirstError(); err != nil {
+		t.Fatalf("campaign did not absorb injected faults: %v", err)
+	}
+	if !breaker.Open() {
+		t.Error("breaker never opened under persistent parallel faults")
+	}
+	for _, o := range rep.Outcomes {
+		if o.Result != baseline[o.Spec.Key()] {
+			t.Errorf("%s: degraded result diverged from baseline", o.Spec)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+
+	"pgss/internal/faultinject"
+)
+
+// TestSoakKillAndStallWorkers is the -race soak: campaigns whose shard and
+// sample workers are repeatedly killed (panic) and stalled mid-run, with
+// torn journal writes and power loss layered on top. Run under the race
+// detector it doubles as a concurrency audit of the panic-recovery,
+// watchdog and resume paths; the assertion is the usual one — every
+// scenario converges to baseline-identical results.
+func TestSoakKillAndStallWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	h, err := NewHarness(t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := h.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An aggressive fixed shape per round: kill one shard, stall another,
+	// kill and stall sample workers, stall a campaign run, and tear the
+	// journal — Nth values staggered across rounds so faults land on
+	// different operations each time.
+	for round := 0; round < 4; round++ {
+		round := round
+		t.Run(fmt.Sprintf("round-%d", round), func(t *testing.T) {
+			sc := Scenario{
+				Name:      fmt.Sprintf("soak-%d", round),
+				Seed:      int64(300 + round),
+				PowerLoss: round%2 == 0,
+				HookRules: []faultinject.HookRule{
+					{Point: faultinject.PointParallelShard, Action: faultinject.HookPanic, Nth: 1 + round},
+					{Point: faultinject.PointParallelShard, Action: faultinject.HookStall, Nth: 6 + 2*round},
+					{Point: faultinject.PointParallelSample, Action: faultinject.HookPanic, Nth: 2 + round},
+					{Point: faultinject.PointParallelSample, Action: faultinject.HookStall, Nth: 7 + 3*round},
+					{Point: faultinject.PointCampaignRun, Action: faultinject.HookStall, Nth: 3 + round},
+				},
+				FSRules: []faultinject.Rule{
+					{Op: faultinject.OpWrite, Fault: faultinject.FaultTorn, Nth: 2 + round},
+					{Op: faultinject.OpSync, Fault: faultinject.FaultDropSync, Nth: 3 + round},
+				},
+			}
+			out, err := h.Run(sc, baseline)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Log(out)
+			if out.FaultsFired == 0 {
+				t.Error("soak round fired no faults — schedule mis-aimed")
+			}
+		})
+	}
+}

@@ -1,0 +1,85 @@
+package checkpoint
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"pgss/internal/cpu"
+	"pgss/internal/faultinject"
+	"pgss/internal/pgsserrors"
+)
+
+// The opaque pipeline states ride inside Checkpoint.Timing (an interface
+// field); gob needs their concrete types registered once.
+func init() {
+	gob.Register(cpu.TimingState{})
+	gob.Register(cpu.OoOState{})
+}
+
+// libraryImage is the on-disk form of a Library.
+type libraryImage struct {
+	StrideOps   uint64
+	Checkpoints []*Checkpoint
+}
+
+// Save writes the library to path on fsys (nil = the real filesystem).
+// The write is crash-consistent (temp file + fsync + rename via
+// faultinject.WriteAtomic): a crash leaves the previous library intact,
+// never a torn one.
+func (l *Library) Save(fsys faultinject.FS, path string) error {
+	img := libraryImage{StrideOps: l.strideOps, Checkpoints: l.checkpoints}
+	err := faultinject.WriteAtomic(fsys, path, 0o644, func(w io.Writer) error {
+		return gob.NewEncoder(w).Encode(img)
+	})
+	if err != nil {
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a library written by Save from fsys (nil = the real
+// filesystem). Decode failures and structural violations are reported as
+// ErrCacheCorrupt so callers can delete the file and re-record; a missing
+// file keeps its os error (check with os.IsNotExist).
+func Load(fsys faultinject.FS, path string) (*Library, error) {
+	f, err := faultinject.Open(fsys, path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var img libraryImage
+	if err := gob.NewDecoder(f).Decode(&img); err != nil {
+		return nil, pgsserrors.Corruptf("checkpoint: decode %s: %v", path, err)
+	}
+	lib := &Library{strideOps: img.StrideOps, checkpoints: img.Checkpoints}
+	if err := lib.checkIntegrity(); err != nil {
+		return nil, fmt.Errorf("checkpoint: %s: %w", path, err)
+	}
+	return lib, nil
+}
+
+// checkIntegrity verifies the structural invariants a healthy library
+// satisfies: a positive stride, at least the op-0 checkpoint, and op
+// positions strictly increasing from 0.
+func (l *Library) checkIntegrity() error {
+	if l.strideOps == 0 {
+		return pgsserrors.Corruptf("library has zero stride")
+	}
+	if len(l.checkpoints) == 0 {
+		return pgsserrors.Corruptf("library holds no checkpoints")
+	}
+	if l.checkpoints[0] == nil || l.checkpoints[0].Ops != 0 {
+		return pgsserrors.Corruptf("library does not start at op 0")
+	}
+	for i := 1; i < len(l.checkpoints); i++ {
+		if l.checkpoints[i] == nil {
+			return pgsserrors.Corruptf("nil checkpoint at index %d", i)
+		}
+		if l.checkpoints[i].Ops <= l.checkpoints[i-1].Ops {
+			return pgsserrors.Corruptf("checkpoint positions not increasing at index %d (%d after %d)",
+				i, l.checkpoints[i].Ops, l.checkpoints[i-1].Ops)
+		}
+	}
+	return nil
+}

@@ -15,6 +15,7 @@ import (
 	"pgss/internal/bbv"
 	"pgss/internal/campaign"
 	"pgss/internal/cpu"
+	"pgss/internal/faultinject"
 	"pgss/internal/profile"
 	"pgss/internal/sampling"
 	"pgss/internal/workload"
@@ -51,6 +52,9 @@ type Options struct {
 	// Context, when set, cancels in-flight recording and simulation
 	// cooperatively (SIGINT handling in the CLIs).
 	Context context.Context
+	// FS is the filesystem the profile cache lives on (nil = the real OS
+	// filesystem). Chaos tests swap in a faultinject.MemFS or Injector.
+	FS faultinject.FS
 }
 
 // DefaultOptions is the standard evaluation configuration.
@@ -130,6 +134,14 @@ func (s *Suite) cachePath(spec *workload.Spec) string {
 	}
 	return filepath.Join(s.opts.CacheDir, fmt.Sprintf("%s_ops%d_h%d_v%d.profile",
 		spec.Name, s.targetOps(spec), s.opts.HashSeed, schemaVersion))
+}
+
+// fs returns the cache filesystem (real OS when Options.FS is nil).
+func (s *Suite) fs() faultinject.FS {
+	if s.opts.FS != nil {
+		return s.opts.FS
+	}
+	return faultinject.OS()
 }
 
 func (s *Suite) logf(format string, args ...any) {
@@ -248,7 +260,7 @@ func (s *Suite) recordOne(name string) (*profile.Profile, error) {
 		return nil, err
 	}
 	if path := s.cachePath(spec); path != "" {
-		p, err := profile.Load(path)
+		p, err := profile.LoadFS(s.opts.FS, path)
 		switch {
 		case err == nil:
 			return p, nil
@@ -256,7 +268,7 @@ func (s *Suite) recordOne(name string) (*profile.Profile, error) {
 			// Cold cache: record below.
 		default:
 			s.logf("profile cache %s unusable (%v), deleting and re-recording\n", path, err)
-			if rmErr := os.Remove(path); rmErr != nil && !os.IsNotExist(rmErr) {
+			if rmErr := s.fs().Remove(path); rmErr != nil && !os.IsNotExist(rmErr) {
 				return nil, fmt.Errorf("experiments: cannot remove corrupt cache %s: %w (%v)",
 					path, rmErr, err)
 			}
@@ -280,7 +292,7 @@ func (s *Suite) recordOne(name string) (*profile.Profile, error) {
 		return nil, err
 	}
 	if path := s.cachePath(spec); path != "" {
-		if err := p.Save(path); err != nil {
+		if err := p.SaveFS(s.opts.FS, path); err != nil {
 			s.logf("profile cache write failed: %v\n", err)
 		}
 	}

@@ -1,0 +1,55 @@
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// WriteAtomic writes path so that a crash at any instant leaves either the
+// complete previous content or the complete new content — never a torn
+// file. It streams write's output into path+".tmp", fsyncs, closes, and
+// renames over path; any failure removes the temp file and leaves path
+// untouched. The pgss-lint ioatomic analyzer enforces that engine packages
+// create files only through this helper.
+//
+// Concurrent writers to the same path race on the temp name; callers that
+// can write one path from several goroutines must serialise (the
+// experiments suite's singleflight recording does).
+func WriteAtomic(fsys FS, path string, perm fs.FileMode, write func(io.Writer) error) error {
+	fsys = orOS(fsys)
+	if dir := filepath.Dir(path); dir != "." && dir != "/" {
+		if err := fsys.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("atomic write %s: %w", path, err)
+		}
+	}
+	tmp := path + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return fmt.Errorf("atomic write %s: %w", path, err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return fmt.Errorf("atomic write %s: %w", path, err)
+	}
+	// The sync-before-rename is the crash-consistency core: rename is
+	// durable metadata, so publishing unsynced data would surface an empty
+	// or partial file after power loss (see MemFS.Rename).
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return fmt.Errorf("atomic write %s: sync: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("atomic write %s: close: %w", path, err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("atomic write %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package faultinject
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts the wall clock for the code paths that legitimately need
+// one — stall watchdogs, retry backoff — so chaos tests can drive them
+// deterministically. This package deliberately ships no wall-clock
+// implementation (it is an engine package and must stay clock-free); the
+// real clock lives in internal/campaign, which is allowed to tell time.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers one value once d has elapsed.
+	After(d time.Duration) <-chan time.Time
+}
+
+// ManualClock is a deterministic Clock advanced explicitly by tests.
+type ManualClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*manualTimer
+}
+
+type manualTimer struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewManualClock starts a manual clock at start (the zero time is fine).
+func NewManualClock(start time.Time) *ManualClock {
+	return &ManualClock{now: start}
+}
+
+// Now implements Clock.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After implements Clock: the returned channel fires when Advance moves
+// the clock past d.
+func (c *ManualClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &manualTimer{at: c.now.Add(d), ch: make(chan time.Time, 1)}
+	if d <= 0 {
+		t.ch <- c.now
+		return t.ch
+	}
+	c.timers = append(c.timers, t)
+	return t.ch
+}
+
+// Advance moves the clock forward, firing every timer that comes due.
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	kept := c.timers[:0]
+	for _, t := range c.timers {
+		if !t.at.After(c.now) {
+			t.ch <- c.now
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	c.timers = kept
+}

@@ -1,0 +1,99 @@
+// Package faultinject is the deterministic fault-injection layer of the
+// PGSS engines: an injectable filesystem, clock and hook registry that the
+// storage layer (campaign journal, profile cache, checkpoint library) and
+// the concurrency boundaries (campaign worker pool, parallel shard and
+// sample workers) are threaded through.
+//
+// Production code sees only the interfaces: FS for file I/O, Clock for
+// wall-clock reads on non-deterministic paths (watchdogs, backoff), and
+// *Hooks for named execution points. The default implementations — OS(),
+// a nil *Hooks — are zero-overhead passthroughs. The chaos harness
+// (internal/chaos, cmd/pgss-chaos) swaps in a MemFS with crash semantics,
+// an Injector carrying a seeded fault schedule, a ManualClock and an armed
+// hook registry, and then asserts that campaigns degrade gracefully and
+// resume crash-consistently.
+//
+// Everything in this package is deterministic by construction: fault
+// schedules derive from explicit seeds (rand.New(rand.NewSource(seed))),
+// rules fire on operation counts rather than timers, and the package never
+// consults a wall clock or process-global randomness — it passes
+// pgss-lint's nodeterminism analyzer as an engine package. The one
+// interface that models time, Clock, is implemented here only by the
+// deterministic ManualClock; the real wall clock lives with the callers
+// that are allowed to tell time (internal/campaign).
+package faultinject
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the subset of *os.File the engines need. Implementations must
+// support concurrent Write/Sync under external locking (the journal
+// serialises appends itself).
+type File interface {
+	io.Reader
+	io.ReaderAt
+	io.Writer
+	io.Closer
+	// Sync flushes the file to durable storage. On a crash-semantics
+	// filesystem (MemFS), unsynced writes do not survive Crash.
+	Sync() error
+	// Truncate changes the file size.
+	Truncate(size int64) error
+	// Stat returns file metadata.
+	Stat() (fs.FileInfo, error)
+}
+
+// FS is the filesystem seam: every file the engines create, rename or
+// remove goes through one of these. *os.File-backed OS() is the default;
+// MemFS and Injector are the test/chaos implementations.
+type FS interface {
+	// OpenFile opens name with os.O_* flags.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// MkdirAll creates name and missing parents.
+	MkdirAll(name string, perm fs.FileMode) error
+	// Stat returns metadata for name.
+	Stat(name string) (fs.FileInfo, error)
+}
+
+// Open opens name read-only on fsys (nil fsys = the real OS).
+func Open(fsys FS, name string) (File, error) {
+	return orOS(fsys).OpenFile(name, os.O_RDONLY, 0)
+}
+
+// osFS is the passthrough to the real filesystem.
+type osFS struct{}
+
+// OS returns the real-filesystem FS.
+func OS() FS { return osFS{} }
+
+// orOS substitutes the real filesystem for a nil FS, so callers can thread
+// an optional FS without nil checks at every use.
+func orOS(fsys FS) FS {
+	if fsys == nil {
+		return osFS{}
+	}
+	return fsys
+}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) MkdirAll(name string, perm fs.FileMode) error { return os.MkdirAll(name, perm) }
+
+func (osFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }

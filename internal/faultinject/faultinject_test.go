@@ -1,0 +1,402 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pgss/internal/pgsserrors"
+)
+
+func writeAll(t *testing.T, fsys FS, name string, data []byte) {
+	t.Helper()
+	f, err := fsys.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatalf("open %s: %v", name, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatalf("write %s: %v", name, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync %s: %v", name, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close %s: %v", name, err)
+	}
+}
+
+func TestMemFSCrashDropsUnsynced(t *testing.T) {
+	m := NewMemFS()
+	writeAll(t, m, "a", []byte("synced"))
+
+	f, err := m.OpenFile("a", os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte(" and unsynced")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := m.ReadFile("a"); string(got) != "synced and unsynced" {
+		t.Fatalf("pre-crash content %q", got)
+	}
+
+	m.Crash()
+	if got, _ := m.ReadFile("a"); string(got) != "synced" {
+		t.Fatalf("post-crash content %q, want only the synced prefix", got)
+	}
+	// The pre-crash handle is dead.
+	if _, err := f.Write([]byte("x")); err == nil {
+		t.Fatal("write on a handle that predates the crash succeeded")
+	}
+}
+
+func TestMemFSRenameCarriesOnlyDurableContent(t *testing.T) {
+	m := NewMemFS()
+	f, err := m.OpenFile("tmp", os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("never synced"))
+	f.Close()
+	if err := m.Rename("tmp", "final"); err != nil {
+		t.Fatal(err)
+	}
+	// Before the crash the rename looks fine…
+	if got, _ := m.ReadFile("final"); string(got) != "never synced" {
+		t.Fatalf("volatile content %q", got)
+	}
+	m.Crash()
+	// …after it, the unsynced bytes are gone: rename-without-fsync is the
+	// bug WriteAtomic exists to prevent.
+	if got, err := m.ReadFile("final"); err == nil && len(got) > 0 {
+		t.Fatalf("unsynced renamed content survived crash: %q", got)
+	}
+}
+
+func TestMemFSSemantics(t *testing.T) {
+	m := NewMemFS()
+	if _, err := m.OpenFile("missing", os.O_RDONLY, 0); !os.IsNotExist(err) {
+		t.Fatalf("open missing: %v, want IsNotExist", err)
+	}
+	if _, err := m.Stat("missing"); !os.IsNotExist(err) {
+		t.Fatalf("stat missing: %v, want IsNotExist", err)
+	}
+	writeAll(t, m, "dir/f", []byte("hello world"))
+	st, err := m.Stat("dir/f")
+	if err != nil || st.Size() != 11 {
+		t.Fatalf("stat: %v size %d", err, st.Size())
+	}
+
+	f, err := Open(m, "dir/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := io.ReadAll(f)
+	if err != nil || string(all) != "hello world" {
+		t.Fatalf("read back %q, %v", all, err)
+	}
+	buf := make([]byte, 5)
+	if _, err := f.ReadAt(buf, 6); err != nil || string(buf) != "world" {
+		t.Fatalf("ReadAt %q, %v", buf, err)
+	}
+	f.Close()
+
+	if err := m.Remove("dir/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Stat("dir/f"); !os.IsNotExist(err) {
+		t.Fatalf("stat removed: %v", err)
+	}
+}
+
+func TestInjectorRulesFireOnNthAndOnce(t *testing.T) {
+	m := NewMemFS()
+	inj := NewInjector(m,
+		Rule{Op: OpWrite, Fault: FaultErr, Nth: 2},
+		Rule{Op: OpSync, Fault: FaultErr, PathSubstr: "journal"},
+	)
+	f, err := inj.OpenFile("journal", os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("one")); err != nil {
+		t.Fatalf("first write should pass: %v", err)
+	}
+	_, err = f.Write([]byte("two"))
+	if !errors.Is(err, pgsserrors.ErrIO) {
+		t.Fatalf("second write: %v, want ErrIO", err)
+	}
+	if !pgsserrors.Retryable(err) {
+		t.Fatal("injected I/O error must be retryable")
+	}
+	if _, err := f.Write([]byte("three")); err != nil {
+		t.Fatalf("rule must be one-shot, third write failed: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, pgsserrors.ErrIO) {
+		t.Fatalf("sync on matching path: %v, want ErrIO", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("second sync: %v", err)
+	}
+	if got := inj.Fired(); got != 2 {
+		t.Fatalf("Fired = %d, want 2", got)
+	}
+	if lg := inj.Log(); len(lg) != 2 || !strings.Contains(lg[0], "eio on write journal") {
+		t.Fatalf("log = %v", lg)
+	}
+}
+
+func TestInjectorTornWriteLeavesPrefix(t *testing.T) {
+	m := NewMemFS()
+	inj := NewInjector(m, Rule{Op: OpWrite, Fault: FaultTorn})
+	f, err := inj.OpenFile("j", os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = f.Write([]byte("0123456789"))
+	if !errors.Is(err, pgsserrors.ErrIO) {
+		t.Fatalf("torn write error: %v", err)
+	}
+	got, _ := m.ReadFile("j")
+	if string(got) != "01234" {
+		t.Fatalf("torn write left %q, want the 5-byte prefix", got)
+	}
+}
+
+func TestInjectorDroppedSyncLosesDataOnCrash(t *testing.T) {
+	m := NewMemFS()
+	inj := NewInjector(m, Rule{Op: OpSync, Fault: FaultDropSync})
+	f, err := inj.OpenFile("j", os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("data"))
+	if err := f.Sync(); err != nil {
+		t.Fatalf("dropped sync must report success, got %v", err)
+	}
+	m.Crash()
+	if got, err := m.ReadFile("j"); err == nil && len(got) > 0 {
+		t.Fatalf("dropped-sync data survived the crash: %q", got)
+	}
+}
+
+func TestInjectorOverRealFS(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.txt")
+	inj := NewInjector(nil, Rule{Op: OpWrite, Fault: FaultTorn})
+	f, err := inj.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("abcdef")); err == nil {
+		t.Fatal("torn write should error")
+	}
+	f.Close()
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "abc" {
+		t.Fatalf("real file holds %q (%v), want torn prefix", got, err)
+	}
+}
+
+func TestRandomScheduleDeterministic(t *testing.T) {
+	a := RandomSchedule(7, 10, "journal")
+	b := RandomSchedule(7, 10, "journal")
+	if len(a) != 10 {
+		t.Fatalf("len %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := RandomSchedule(8, 10, "journal")
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestHooksActions(t *testing.T) {
+	// Nil registry: no-op.
+	var nilHooks *Hooks
+	if err := nilHooks.Fire(context.Background(), PointCampaignRun); err != nil {
+		t.Fatalf("nil hooks: %v", err)
+	}
+
+	h := NewHooks(
+		HookRule{Point: PointCampaignRun, Action: HookError},
+		HookRule{Point: PointParallelShard, Action: HookPanic},
+		HookRule{Point: PointParallelSample, Action: HookStall},
+		HookRule{Point: PointCampaignRun, Action: HookCancel, Nth: 2},
+	)
+
+	err := h.Fire(context.Background(), PointCampaignRun)
+	if !errors.Is(err, pgsserrors.ErrIO) || !pgsserrors.Retryable(err) {
+		t.Fatalf("HookError: %v", err)
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("HookPanic did not panic")
+			}
+		}()
+		h.Fire(context.Background(), PointParallelShard)
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go cancel()
+	err = h.Fire(ctx, PointParallelSample)
+	if !errors.Is(err, pgsserrors.ErrWorkerStalled) || !pgsserrors.Retryable(err) {
+		t.Fatalf("HookStall: %v", err)
+	}
+
+	cctx, ccancel := context.WithCancel(context.Background())
+	h.SetCancel(ccancel)
+	if err := h.Fire(cctx, PointCampaignRun); err != nil {
+		t.Fatalf("HookCancel returned %v", err)
+	}
+	if cctx.Err() == nil {
+		t.Fatal("HookCancel did not cancel the registered context")
+	}
+	if h.Fired() != 4 || len(h.Log()) != 4 {
+		t.Fatalf("fired=%d log=%v", h.Fired(), h.Log())
+	}
+	// All spent: further crossings are clean.
+	if err := h.Fire(context.Background(), PointCampaignRun); err != nil {
+		t.Fatalf("spent hooks must be silent: %v", err)
+	}
+}
+
+func TestManualClock(t *testing.T) {
+	c := NewManualClock(time.Unix(1000, 0))
+	ch := c.After(5 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before Advance")
+	default:
+	}
+	c.Advance(2 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired early")
+	default:
+	}
+	c.Advance(3 * time.Second)
+	select {
+	case at := <-ch:
+		if !at.Equal(time.Unix(1005, 0)) {
+			t.Fatalf("fired at %v", at)
+		}
+	default:
+		t.Fatal("timer did not fire at its deadline")
+	}
+	if got := c.Now(); !got.Equal(time.Unix(1005, 0)) {
+		t.Fatalf("Now = %v", got)
+	}
+	// Immediate timer.
+	select {
+	case <-c.After(0):
+	default:
+		t.Fatal("zero-duration After must fire immediately")
+	}
+}
+
+func TestWriteAtomicSurvivesCrash(t *testing.T) {
+	m := NewMemFS()
+	writeAll(t, m, "cache/p", []byte("old"))
+	if err := WriteAtomic(m, "cache/p", 0o644, func(w io.Writer) error {
+		_, err := w.Write([]byte("new content"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	got, err := m.ReadFile("cache/p")
+	if err != nil || string(got) != "new content" {
+		t.Fatalf("after crash: %q, %v", got, err)
+	}
+}
+
+func TestWriteAtomicFailureLeavesOldContent(t *testing.T) {
+	for name, rules := range map[string][]Rule{
+		"write-error":  {{Op: OpWrite, Fault: FaultErr, PathSubstr: ".tmp"}},
+		"enospc":       {{Op: OpWrite, Fault: FaultENOSPC, PathSubstr: ".tmp"}},
+		"torn":         {{Op: OpWrite, Fault: FaultTorn, PathSubstr: ".tmp"}},
+		"sync-error":   {{Op: OpSync, Fault: FaultErr, PathSubstr: ".tmp"}},
+		"rename-error": {{Op: OpRename, Fault: FaultErr}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			m := NewMemFS()
+			writeAll(t, m, "p", []byte("old"))
+			inj := NewInjector(m, rules...)
+			err := WriteAtomic(inj, "p", 0o644, func(w io.Writer) error {
+				_, err := w.Write(bytes.Repeat([]byte("x"), 64))
+				return err
+			})
+			if !errors.Is(err, pgsserrors.ErrIO) {
+				t.Fatalf("want injected ErrIO, got %v", err)
+			}
+			if got, _ := m.ReadFile("p"); string(got) != "old" {
+				t.Fatalf("target corrupted by failed atomic write: %q", got)
+			}
+			if _, err := m.Stat("p.tmp"); !os.IsNotExist(err) {
+				t.Fatalf("temp file left behind: %v", err)
+			}
+		})
+	}
+}
+
+func TestWriteAtomicDroppedSyncThenCrashKeepsOldContent(t *testing.T) {
+	// The whole point of sync-before-rename: when the fsync is silently
+	// dropped and the machine crashes after the rename, the durable view
+	// must not be a torn/empty file. With MemFS's journaled-rename model
+	// the old durable content travels with the rename... so the file shows
+	// the previous content, never garbage.
+	m := NewMemFS()
+	writeAll(t, m, "p", []byte("old"))
+	inj := NewInjector(m, Rule{Op: OpSync, Fault: FaultDropSync, PathSubstr: ".tmp"})
+	if err := WriteAtomic(inj, "p", 0o644, func(w io.Writer) error {
+		_, err := w.Write([]byte("new"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	got, _ := m.ReadFile("p")
+	if string(got) == "new" {
+		t.Fatal("unsynced content survived a crash — MemFS model broken")
+	}
+}
+
+func TestOSFSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "f")
+	if err := WriteAtomic(OS(), path, 0o644, func(w io.Writer) error {
+		_, err := w.Write([]byte("data"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "data" {
+		t.Fatalf("%q %v", got, err)
+	}
+	st, err := OS().Stat(path)
+	if err != nil || st.Size() != 4 {
+		t.Fatalf("stat %v %d", err, st.Size())
+	}
+	var _ fs.FileInfo = st
+}

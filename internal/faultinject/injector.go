@@ -1,0 +1,271 @@
+package faultinject
+
+import (
+	"io/fs"
+	"math/rand"
+	"strings"
+	"sync"
+
+	"pgss/internal/pgsserrors"
+)
+
+// Op classifies intercepted filesystem operations for rule matching.
+type Op uint8
+
+const (
+	OpOpen Op = iota + 1
+	OpWrite
+	OpSync
+	OpRename
+	OpRemove
+	OpStat
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpOpen:
+		return "open"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpStat:
+		return "stat"
+	default:
+		return "op?"
+	}
+}
+
+// Fault is what happens when a rule fires.
+type Fault uint8
+
+const (
+	// FaultErr fails the operation with an injected I/O error (EIO-style);
+	// the error is classified retryable, modelling a transient disk hiccup.
+	FaultErr Fault = iota + 1
+	// FaultENOSPC fails the operation with an injected out-of-space error.
+	FaultENOSPC
+	// FaultTorn writes only a prefix of the buffer, then fails — the
+	// mid-record crash that tears journal lines. Only meaningful on OpWrite
+	// (elsewhere it behaves like FaultErr).
+	FaultTorn
+	// FaultDropSync silently skips the flush: Sync reports success but the
+	// data stays volatile, so a later Crash loses it. Only meaningful on
+	// OpSync (elsewhere it behaves like FaultErr).
+	FaultDropSync
+)
+
+func (f Fault) String() string {
+	switch f {
+	case FaultErr:
+		return "eio"
+	case FaultENOSPC:
+		return "enospc"
+	case FaultTorn:
+		return "torn-write"
+	case FaultDropSync:
+		return "dropped-sync"
+	default:
+		return "fault?"
+	}
+}
+
+// Rule arms one fault: the Nth occurrence of Op (counting only operations
+// whose path contains PathSubstr, when set) fires Fault, once.
+type Rule struct {
+	Op         Op
+	Fault      Fault
+	Nth        int    // 1-based occurrence; 0 means 1
+	PathSubstr string // "" matches every path
+}
+
+// Injector wraps an FS and fires a deterministic schedule of Rules. Firing
+// depends only on operation counts — never on time or global randomness —
+// so a single-threaded caller sees a fully reproducible fault sequence,
+// and a concurrent caller a reproducible fault *set*.
+type Injector struct {
+	inner FS
+
+	mu    sync.Mutex
+	rules []*armedRule
+	fired int
+	log   []string
+}
+
+type armedRule struct {
+	Rule
+	seen  int
+	spent bool
+}
+
+// NewInjector arms rules over inner (nil inner = the real OS filesystem —
+// useful for torn-write tests against real files in t.TempDir()).
+func NewInjector(inner FS, rules ...Rule) *Injector {
+	inj := &Injector{inner: orOS(inner)}
+	for _, r := range rules {
+		if r.Nth <= 0 {
+			r.Nth = 1
+		}
+		inj.rules = append(inj.rules, &armedRule{Rule: r})
+	}
+	return inj
+}
+
+// RandomSchedule derives n rules from seed, drawn across journal-shaped
+// write/sync/open/rename faults. Chaos scenarios use it to cover fault
+// combinations no hand-written table would include.
+func RandomSchedule(seed int64, n int, pathSubstr string) []Rule {
+	rng := rand.New(rand.NewSource(seed))
+	ops := []Op{OpWrite, OpWrite, OpSync, OpOpen, OpRename}
+	faults := map[Op][]Fault{
+		OpWrite:  {FaultErr, FaultENOSPC, FaultTorn, FaultTorn},
+		OpSync:   {FaultErr, FaultDropSync, FaultDropSync},
+		OpOpen:   {FaultErr},
+		OpRename: {FaultErr, FaultENOSPC},
+	}
+	out := make([]Rule, n)
+	for i := range out {
+		op := ops[rng.Intn(len(ops))]
+		fl := faults[op]
+		out[i] = Rule{
+			Op:         op,
+			Fault:      fl[rng.Intn(len(fl))],
+			Nth:        1 + rng.Intn(25),
+			PathSubstr: pathSubstr,
+		}
+	}
+	return out
+}
+
+// Fired returns how many rules have fired so far.
+func (inj *Injector) Fired() int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.fired
+}
+
+// Log returns one line per fired fault, in firing order.
+func (inj *Injector) Log() []string {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return append([]string(nil), inj.log...)
+}
+
+// check advances counters for one operation and returns the fault to
+// apply, if any (first matching unspent rule wins).
+func (inj *Injector) check(op Op, path string) (Fault, error) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	var fire *armedRule
+	for _, r := range inj.rules {
+		if r.Op != op || (r.PathSubstr != "" && !strings.Contains(path, r.PathSubstr)) {
+			continue
+		}
+		r.seen++
+		if !r.spent && r.seen == r.Nth && fire == nil {
+			fire = r
+		}
+	}
+	if fire == nil {
+		return 0, nil
+	}
+	fire.spent = true
+	inj.fired++
+	inj.log = append(inj.log, fire.Fault.String()+" on "+op.String()+" "+path)
+	if fire.Fault == FaultTorn || fire.Fault == FaultDropSync {
+		return fire.Fault, nil
+	}
+	return fire.Fault, injectedErr(fire.Fault, op, path)
+}
+
+// injectedErr builds the classified, retryable error an injected fault
+// surfaces as.
+func injectedErr(f Fault, op Op, path string) error {
+	return pgsserrors.IOf("injected %s on %s %s", f, op, path)
+}
+
+// OpenFile implements FS.
+func (inj *Injector) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if _, err := inj.check(OpOpen, name); err != nil {
+		return nil, err
+	}
+	f, err := inj.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{inj: inj, name: name, inner: f}, nil
+}
+
+// Rename implements FS.
+func (inj *Injector) Rename(oldpath, newpath string) error {
+	if _, err := inj.check(OpRename, newpath); err != nil {
+		return err
+	}
+	return inj.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (inj *Injector) Remove(name string) error {
+	if _, err := inj.check(OpRemove, name); err != nil {
+		return err
+	}
+	return inj.inner.Remove(name)
+}
+
+// MkdirAll implements FS (never faulted: directory creation precedes every
+// interesting failure).
+func (inj *Injector) MkdirAll(name string, perm fs.FileMode) error {
+	return inj.inner.MkdirAll(name, perm)
+}
+
+// Stat implements FS.
+func (inj *Injector) Stat(name string) (fs.FileInfo, error) {
+	if _, err := inj.check(OpStat, name); err != nil {
+		return nil, err
+	}
+	return inj.inner.Stat(name)
+}
+
+// injFile intercepts write-path operations of one open file.
+type injFile struct {
+	inj   *Injector
+	name  string
+	inner File
+}
+
+func (f *injFile) Read(p []byte) (int, error)            { return f.inner.Read(p) }
+func (f *injFile) ReadAt(p []byte, o int64) (int, error) { return f.inner.ReadAt(p, o) }
+func (f *injFile) Truncate(size int64) error             { return f.inner.Truncate(size) }
+func (f *injFile) Stat() (fs.FileInfo, error)            { return f.inner.Stat() }
+func (f *injFile) Close() error                          { return f.inner.Close() }
+
+func (f *injFile) Write(p []byte) (int, error) {
+	fault, err := f.inj.check(OpWrite, f.name)
+	switch {
+	case fault == FaultTorn:
+		// Tear mid-buffer: a prefix lands, the rest — and the success — do
+		// not. The caller sees a failed append; the file sees half a record.
+		n, _ := f.inner.Write(p[:len(p)/2])
+		return n, injectedErr(fault, OpWrite, f.name)
+	case err != nil:
+		return 0, err
+	}
+	return f.inner.Write(p)
+}
+
+func (f *injFile) Sync() error {
+	fault, err := f.inj.check(OpSync, f.name)
+	switch {
+	case fault == FaultDropSync:
+		// Report success without flushing: the data stays volatile and a
+		// later crash erases it.
+		return nil
+	case err != nil:
+		return err
+	}
+	return f.inner.Sync()
+}

@@ -28,25 +28,42 @@ package parallel
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"pgss/internal/core"
+	"pgss/internal/faultinject"
 	"pgss/internal/pgsserrors"
 	"pgss/internal/sampling"
 )
 
-// Options sets the engine's concurrency. Both fields default to GOMAXPROCS
-// when zero or negative; Shards=1 with SampleWorkers=1 reproduces the
-// serial schedule on a single extra goroutine.
+// Options sets the engine's concurrency. Both count fields default to
+// GOMAXPROCS when zero or negative; Shards=1 with SampleWorkers=1
+// reproduces the serial schedule on a single extra goroutine.
 type Options struct {
 	// Shards is the number of concurrent fast-forward shards computing
 	// window BBVs.
 	Shards int
 	// SampleWorkers is the number of concurrent detailed-sample executors.
 	SampleWorkers int
+
+	// Hooks, when non-nil, fires injected failures at the parallel.shard
+	// and parallel.sample points (chaos testing). Neither hooks nor the
+	// watchdog can change the result of a run that completes: they act only
+	// on error paths, preserving the bit-identical-to-serial guarantee.
+	Hooks *faultinject.Hooks
+	// StallTimeout arms a watchdog that cancels the run with a retryable
+	// ErrWorkerStalled when no shard, sample worker or decision-walk step
+	// reports progress for this long (0 = no watchdog). Requires Clock.
+	StallTimeout time.Duration
+	// Clock drives the watchdog (nil disables it; campaign.WallClock() for
+	// production, faultinject.NewManualClock for deterministic tests).
+	Clock faultinject.Clock
 }
 
 func (o Options) normalized() Options {
@@ -79,10 +96,19 @@ func Run(ctx context.Context, src Source, cfg core.Config, opts Options) (sampli
 		return ctl.Finish()
 	}
 
+	// The watchdog (inactive unless StallTimeout and Clock are set) watches
+	// all three progress sources: shard completions, sample completions and
+	// decision-walk steps.
+	ctx, pulse, stopWatchdog := watchdog(ctx, opts.StallTimeout, opts.Clock)
+	defer stopWatchdog()
+
 	// Stage 1: shard-parallel window precomputation.
 	wins := make([]Window, n)
-	if err := precompute(ctx, src, cfg.FFOps, wins, opts.Shards); err != nil {
+	if err := precompute(ctx, src, cfg.FFOps, wins, opts, pulse); err != nil {
 		res, st := ctl.Partial()
+		if stalled := stallCause(ctx); stalled != nil {
+			return res, st, fmt.Errorf("pgss: %s after %d windows: %w", res.Benchmark, ctl.Windows(), stalled)
+		}
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return res, st, cancelErr(res.Benchmark, ctl.Windows(), ctxErr)
 		}
@@ -90,7 +116,7 @@ func Run(ctx context.Context, src Source, cfg core.Config, opts Options) (sampli
 	}
 
 	// Stage 2: serial decision walk with asynchronous sample execution.
-	pool, err := newSamplePool(src, opts.SampleWorkers)
+	pool, err := newSamplePool(ctx, src, opts, pulse)
 	if err != nil {
 		res, st := ctl.Partial()
 		return res, st, err
@@ -100,8 +126,12 @@ func Run(ctx context.Context, src Source, cfg core.Config, opts Options) (sampli
 	defer pool.close()
 
 	for i := 0; i < n; i++ {
+		pulse()
 		if err := ctx.Err(); err != nil {
 			res, st := ctl.Partial()
+			if stalled := stallCause(ctx); stalled != nil {
+				return res, st, fmt.Errorf("pgss: %s after %d windows: %w", res.Benchmark, ctl.Windows(), stalled)
+			}
 			return res, st, cancelErr(res.Benchmark, ctl.Windows(), err)
 		}
 		posAfter := uint64(i+1) * cfg.FFOps
@@ -111,6 +141,13 @@ func Run(ctx context.Context, src Source, cfg core.Config, opts Options) (sampli
 		req, err := ctl.Advance(wins[i].BBV, wins[i].Ops, posAfter)
 		if err != nil {
 			res, st := ctl.Partial()
+			if stalled := stallCause(ctx); stalled != nil {
+				// A stalled sample worker surfaces here as a failed sample;
+				// report the watchdog's classified cause so the campaign
+				// layer retries.
+				return res, st, fmt.Errorf("pgss: %s after %d windows: %w (%v)",
+					res.Benchmark, ctl.Windows(), stalled, err)
+			}
 			return res, st, err
 		}
 		if req == nil {
@@ -139,13 +176,19 @@ func cancelErr(benchmark string, windows int, err error) error {
 }
 
 // precompute fills wins with the run's windows, splitting the work into up
-// to `shards` contiguous ranges computed concurrently.
-func precompute(ctx context.Context, src Source, ffOps uint64, wins []Window, shards int) error {
+// to opts.Shards contiguous ranges computed concurrently. A panic inside a
+// shard is recovered into that shard's error slot, so one poisoned shard
+// fails the run instead of the process.
+func precompute(ctx context.Context, src Source, ffOps uint64, wins []Window, opts Options, pulse func()) error {
 	n := len(wins)
+	shards := opts.Shards
 	if shards > n {
 		shards = n
 	}
 	if shards <= 1 {
+		if err := opts.Hooks.Fire(ctx, faultinject.PointParallelShard); err != nil {
+			return err
+		}
 		return src.Windows(ctx, ffOps, 0, wins)
 	}
 	per := (n + shards - 1) / shards
@@ -163,16 +206,36 @@ func precompute(ctx context.Context, src Source, ffOps uint64, wins []Window, sh
 		wg.Add(1)
 		go func(s, lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[s] = fmt.Errorf("%w: shard %d: %v\n%s",
+						pgsserrors.ErrRunPanicked, s, r, debug.Stack())
+				}
+			}()
+			if err := opts.Hooks.Fire(ctx, faultinject.PointParallelShard); err != nil {
+				errs[s] = err
+				return
+			}
 			errs[s] = src.Windows(ctx, ffOps, lo, wins[lo:hi])
+			pulse()
 		}(s, lo, hi)
 	}
 	wg.Wait()
+	// Prefer the most informative error: a stall or panic explains why the
+	// sibling shards saw their context die.
+	var first error
 	for _, e := range errs {
-		if e != nil {
+		if e == nil {
+			continue
+		}
+		if errors.Is(e, pgsserrors.ErrWorkerStalled) || errors.Is(e, pgsserrors.ErrRunPanicked) {
 			return e
 		}
+		if first == nil {
+			first = e
+		}
 	}
-	return nil
+	return first
 }
 
 // samplePool executes detailed samples on a fixed set of workers, each
@@ -182,7 +245,8 @@ type samplePool struct {
 	wg   sync.WaitGroup
 }
 
-func newSamplePool(src Source, workers int) (*samplePool, error) {
+func newSamplePool(ctx context.Context, src Source, opts Options, pulse func()) (*samplePool, error) {
+	workers := opts.SampleWorkers
 	if workers < 1 {
 		workers = 1
 	}
@@ -197,21 +261,39 @@ func newSamplePool(src Source, workers int) (*samplePool, error) {
 		go func(s Sampler) {
 			defer p.wg.Done()
 			for req := range p.jobs {
-				ipc, err := s.Sample(req.Pos, req.Warm, req.Sample)
-				switch {
-				case err != nil:
-					req.Fail(err)
-				case ipc > 0:
-					req.Resolve(ipc, req.Warm, req.Sample)
-				default:
-					// Unmeasurable window (zero recorded cycles): charge
-					// nothing, record nothing — serial semantics.
-					req.Resolve(math.NaN(), 0, 0)
-				}
+				runSample(ctx, s, req, opts.Hooks)
+				pulse()
 			}
 		}(s)
 	}
 	return p, nil
+}
+
+// runSample executes one detailed sample with panic recovery: a panicking
+// sampler fails its request (so the decision walk unblocks with a
+// classified error) and the worker survives to drain the queue.
+func runSample(ctx context.Context, s Sampler, req *core.SampleRequest, hooks *faultinject.Hooks) {
+	defer func() {
+		if r := recover(); r != nil {
+			req.Fail(fmt.Errorf("%w: sample at op %d: %v\n%s",
+				pgsserrors.ErrRunPanicked, req.Pos, r, debug.Stack()))
+		}
+	}()
+	if err := hooks.Fire(ctx, faultinject.PointParallelSample); err != nil {
+		req.Fail(err)
+		return
+	}
+	ipc, err := s.Sample(req.Pos, req.Warm, req.Sample)
+	switch {
+	case err != nil:
+		req.Fail(err)
+	case ipc > 0:
+		req.Resolve(ipc, req.Warm, req.Sample)
+	default:
+		// Unmeasurable window (zero recorded cycles): charge nothing,
+		// record nothing — serial semantics.
+		req.Resolve(math.NaN(), 0, 0)
+	}
 }
 
 func (p *samplePool) submit(req *core.SampleRequest) { p.jobs <- req }

@@ -1,0 +1,68 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"pgss/internal/faultinject"
+	"pgss/internal/pgsserrors"
+)
+
+// watchdog arms a stall detector over parent: whenever no worker reports
+// progress (via pulse) for opts.StallTimeout, the returned context is
+// cancelled with an ErrWorkerStalled cause, releasing every goroutine that
+// cooperatively waits on it. Inactive (no-op pulse/stop, parent returned
+// unchanged) unless both StallTimeout and Clock are set, so the default
+// engine carries no watchdog goroutine.
+//
+// The watchdog only ever turns a hung run into a classified, retryable
+// error — it cannot alter the result of a run that completes, which keeps
+// the engine's bit-identical-to-serial guarantee intact.
+func watchdog(parent context.Context, timeout time.Duration, clock faultinject.Clock) (context.Context, func(), func()) {
+	if timeout <= 0 || clock == nil {
+		nop := func() {}
+		return parent, nop, nop
+	}
+	ctx, cancel := context.WithCancelCause(parent)
+	progress := make(chan struct{}, 1)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-ctx.Done():
+				return
+			case <-progress:
+				// Progress within the window: re-arm.
+			case <-clock.After(timeout):
+				cancel(pgsserrors.Stalledf("no worker progress within %v", timeout))
+				return
+			}
+		}
+	}()
+	pulse := func() {
+		select {
+		case progress <- struct{}{}:
+		default:
+		}
+	}
+	stop := func() {
+		close(done)
+		cancel(nil)
+	}
+	return ctx, pulse, stop
+}
+
+// stallCause returns the watchdog's ErrWorkerStalled cause when that is why
+// ctx died, or nil.
+func stallCause(ctx context.Context) error {
+	if ctx.Err() == nil {
+		return nil
+	}
+	if cause := context.Cause(ctx); errors.Is(cause, pgsserrors.ErrWorkerStalled) {
+		return cause
+	}
+	return nil
+}

@@ -49,6 +49,19 @@ var (
 	// configuration was valid — the constraints were collectively
 	// unsatisfiable.
 	ErrInfeasible = errors.New("no feasible configuration")
+
+	// ErrIO marks a storage-layer failure: a journal append, profile-cache
+	// or checkpoint write that the filesystem rejected (EIO, ENOSPC, torn
+	// write). Disk hiccups are often transient and a bounded retry is
+	// cheap, so the class is retryable; a persistently full disk simply
+	// exhausts the attempt budget.
+	ErrIO = errors.New("storage I/O failure")
+
+	// ErrWorkerStalled marks a worker (campaign run, parallel shard or
+	// sample executor) that made no progress past its stall deadline and
+	// was cancelled by a watchdog. Stalls are environmental (scheduling,
+	// I/O pressure, injected faults), so the class is retryable.
+	ErrWorkerStalled = errors.New("worker stalled")
 )
 
 // Invalidf wraps ErrInvalidConfig with formatted detail.
@@ -69,6 +82,16 @@ func Corruptf(format string, args ...any) error {
 // Infeasiblef wraps ErrInfeasible with formatted detail.
 func Infeasiblef(format string, args ...any) error {
 	return fmt.Errorf("%w: "+format, prepend(ErrInfeasible, args)...)
+}
+
+// IOf wraps ErrIO with formatted detail.
+func IOf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, prepend(ErrIO, args)...)
+}
+
+// Stalledf wraps ErrWorkerStalled with formatted detail.
+func Stalledf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, prepend(ErrWorkerStalled, args)...)
 }
 
 func prepend(err error, args []any) []any {
@@ -92,10 +115,11 @@ func Transient(err error) error {
 }
 
 // Retryable reports whether a campaign run that failed with err is worth
-// retrying. Corrupt caches heal on re-record and explicitly Transient
-// errors are retryable by definition; invalid configurations, misaligned
-// windows, exceeded budgets, panics and interrupts are deterministic (or
-// terminal) and are not.
+// retrying. Corrupt caches heal on re-record, I/O hiccups and worker
+// stalls are environmental, and explicitly Transient errors are retryable
+// by definition; invalid configurations, misaligned windows, exceeded
+// budgets, panics and interrupts are deterministic (or terminal) and are
+// not.
 func Retryable(err error) bool {
 	if err == nil {
 		return false
@@ -104,7 +128,9 @@ func Retryable(err error) bool {
 	if errors.As(err, &t) {
 		return true
 	}
-	return errors.Is(err, ErrCacheCorrupt)
+	return errors.Is(err, ErrCacheCorrupt) ||
+		errors.Is(err, ErrIO) ||
+		errors.Is(err, ErrWorkerStalled)
 }
 
 // Kind returns the taxonomy class name of err for journals and error
@@ -127,6 +153,10 @@ func Kind(err error) string {
 		return "interrupted"
 	case errors.Is(err, ErrInfeasible):
 		return "infeasible"
+	case errors.Is(err, ErrIO):
+		return "io"
+	case errors.Is(err, ErrWorkerStalled):
+		return "worker-stalled"
 	default:
 		return "other"
 	}

@@ -16,13 +16,13 @@ import (
 	"context"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"math"
-	"os"
-	"path/filepath"
 	"sync"
 
 	"pgss/internal/bbv"
 	"pgss/internal/cpu"
+	"pgss/internal/faultinject"
 	"pgss/internal/pgsserrors"
 )
 
@@ -363,35 +363,34 @@ func (p *Profile) CheckIntegrity() error {
 	return nil
 }
 
-// Save writes the profile to path with gob encoding, creating parent
-// directories as needed.
-func (p *Profile) Save(path string) error {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return fmt.Errorf("profile: save %s: %w", path, err)
-	}
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+// Save writes the profile to path on the real filesystem. See SaveFS.
+func (p *Profile) Save(path string) error { return p.SaveFS(nil, path) }
+
+// SaveFS writes the profile to path on fsys (nil = the real filesystem)
+// with gob encoding, creating parent directories as needed. The write is
+// crash-consistent: temp file, fsync, rename — a crash at any instant
+// leaves either the old profile or the new one, never a torn file.
+func (p *Profile) SaveFS(fsys faultinject.FS, path string) error {
+	err := faultinject.WriteAtomic(fsys, path, 0o644, func(w io.Writer) error {
+		return gob.NewEncoder(w).Encode(p)
+	})
 	if err != nil {
-		return fmt.Errorf("profile: save %s: %w", path, err)
+		return fmt.Errorf("profile: save: %w", err)
 	}
-	if err := gob.NewEncoder(f).Encode(p); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("profile: encode %s: %w", path, err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("profile: close %s: %w", path, err)
-	}
-	return os.Rename(tmp, path)
+	return nil
 }
 
-// Load reads a profile written by Save. Decode failures and integrity
-// violations (truncated writes, schema drift) are reported as
-// ErrCacheCorrupt so callers can delete the file and re-record; a missing
-// file keeps its os error (check with os.IsNotExist).
-func Load(path string) (*Profile, error) {
-	f, err := os.Open(path)
+// Load reads a profile written by Save from the real filesystem. See
+// LoadFS.
+func Load(path string) (*Profile, error) { return LoadFS(nil, path) }
+
+// LoadFS reads a profile written by SaveFS from fsys (nil = the real
+// filesystem). Decode failures and integrity violations (truncated writes,
+// schema drift) are reported as ErrCacheCorrupt so callers can delete the
+// file and re-record; a missing file keeps its os error (check with
+// os.IsNotExist).
+func LoadFS(fsys faultinject.FS, path string) (*Profile, error) {
+	f, err := faultinject.Open(fsys, path)
 	if err != nil {
 		return nil, err
 	}
