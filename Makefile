@@ -1,14 +1,22 @@
 GO ?= go
 BENCHTIME ?= 1x
-BENCH_JSON ?= BENCH_pr2.json
+BENCH_JSON ?= BENCH_pr7.json
+# Packages the bench targets run over. CI's bench job narrows this to the
+# hot packages so base-vs-head comparisons finish in budget.
+BENCH_PKGS ?= ./...
 # Statement-coverage floor for `make cover`. Set just under the measured
-# total (70.4% when introduced) so genuine regressions fail while run-to-run
-# jitter in timing-dependent paths does not.
-COVER_FLOOR ?= 68.0
-# Per-target budget for `make fuzz-smoke` (4 targets; CI budgets 60s total).
+# total (70.4% when introduced, 71.9% after the binenc/superblock work) so
+# genuine regressions fail while run-to-run jitter in timing-dependent
+# paths does not.
+COVER_FLOOR ?= 70.0
+# Per-target budget for `make fuzz-smoke` (5 targets; CI budgets 75s total).
 FUZZTIME ?= 15s
+# Where `make profile` drops its pprof bundles.
+PROFILE_DIR ?= /tmp/pgss-profile
+# Benchmarks `make profile` runs under the profiler.
+PROFILE_BENCH ?= BenchmarkAblation
 
-.PHONY: build test vet fmt-check lint lint-custom lint-fix vuln race bench bench-json bench-check cover fuzz-smoke validate chaos-smoke ci clean
+.PHONY: build test vet fmt-check lint lint-custom lint-fix vuln race bench bench-json bench-check profile cover fuzz-smoke validate chaos-smoke ci clean
 
 build:
 	$(GO) build ./...
@@ -56,16 +64,17 @@ vuln:
 race:
 	$(GO) test -race ./...
 
-# All packages, one iteration each: a smoke run that proves every benchmark
-# still compiles and executes. Raise BENCHTIME for real measurements.
+# All BENCH_PKGS packages, one iteration each: a smoke run that proves every
+# benchmark still compiles and executes. Raise BENCHTIME for real
+# measurements.
 bench:
-	$(GO) test -bench . -benchtime $(BENCHTIME) -run '^$$' ./...
+	$(GO) test -bench . -benchtime $(BENCHTIME) -run '^$$' $(BENCH_PKGS)
 
 # Machine-readable benchmark snapshot (see cmd/pgss-benchdiff). ns/op values
 # are only comparable on the same hardware; the snapshot records CPU count.
 bench-json:
 	$(GO) build -o /tmp/pgss-benchdiff ./cmd/pgss-benchdiff
-	$(GO) test -bench . -benchtime $(BENCHTIME) -run '^$$' ./... \
+	$(GO) test -bench . -benchtime $(BENCHTIME) -run '^$$' $(BENCH_PKGS) \
 		| /tmp/pgss-benchdiff -parse -o $(BENCH_JSON)
 	@echo "wrote $(BENCH_JSON)"
 
@@ -74,9 +83,19 @@ bench-json:
 # runner (see .github/workflows/ci.yml).
 bench-check:
 	$(GO) build -o /tmp/pgss-benchdiff ./cmd/pgss-benchdiff
-	$(GO) test -bench . -benchtime $(BENCHTIME) -run '^$$' ./... \
+	$(GO) test -bench . -benchtime $(BENCHTIME) -run '^$$' $(BENCH_PKGS) \
 		| /tmp/pgss-benchdiff -parse -o /tmp/pgss-bench-head.json
 	/tmp/pgss-benchdiff -baseline $(BENCH_JSON) -current /tmp/pgss-bench-head.json -max-regress 15
+
+# CPU + heap pprof bundles of PROFILE_BENCH (the ablation suite by
+# default), for flamegraph comparisons across PRs. Inspect with
+# `go tool pprof $(PROFILE_DIR)/cpu.pb.gz`.
+profile:
+	mkdir -p $(PROFILE_DIR)
+	$(GO) test -bench '$(PROFILE_BENCH)' -benchtime $(BENCHTIME) -run '^$$' \
+		-cpuprofile $(PROFILE_DIR)/cpu.pb.gz -memprofile $(PROFILE_DIR)/heap.pb.gz \
+		-o $(PROFILE_DIR)/pgss.test .
+	@echo "wrote $(PROFILE_DIR)/cpu.pb.gz and $(PROFILE_DIR)/heap.pb.gz"
 
 # Statement coverage with a floor: fails when total coverage drops below
 # COVER_FLOOR percent.
@@ -88,12 +107,13 @@ cover:
 		|| { echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
 
 # Run each native fuzz target for FUZZTIME on top of the committed seed
-# corpus. `go test` allows one -fuzz pattern per invocation, hence four runs.
+# corpus. `go test` allows one -fuzz pattern per invocation, hence five runs.
 fuzz-smoke:
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzConfigValidate$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/bbv -run '^$$' -fuzz '^FuzzTrackerStream$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/phase -run '^$$' -fuzz '^FuzzClassify$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/checkpoint -run '^$$' -fuzz '^FuzzCheckpointResume$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/binenc -run '^$$' -fuzz '^FuzzFrameDecoder$$' -fuzztime $(FUZZTIME)
 
 # Differential validation: 200 generated cases through oracle, serial,
 # parallel (all layouts) and periodic live runs, all invariants checked.

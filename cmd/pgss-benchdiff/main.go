@@ -10,6 +10,13 @@
 //
 //	pgss-benchdiff -baseline BENCH_pr2.json -current head.json -max-regress 15
 //
+// -only restricts the comparison to benchmarks matching a regexp (both the
+// gate and the missing-benchmark check), and the summary line reports the
+// geometric-mean head/base ns/op ratio across all compared benchmarks —
+// the number speed-up claims quote:
+//
+//	pgss-benchdiff -baseline base.json -current head.json -only 'BenchmarkAblation'
+//
 // ns/op comparisons are only meaningful between snapshots taken on the
 // same hardware; the CI gate therefore benches the PR's base and head on
 // the same runner rather than trusting a committed baseline's absolute
@@ -23,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"runtime"
@@ -56,6 +64,7 @@ func main() {
 	baseline := flag.String("baseline", "", "compare: baseline snapshot path")
 	current := flag.String("current", "", "compare: current snapshot path")
 	maxRegress := flag.Float64("max-regress", 15, "compare: max allowed ns/op regression in percent")
+	only := flag.String("only", "", "compare: restrict to benchmarks matching this regexp")
 	flag.Parse()
 
 	switch {
@@ -64,7 +73,7 @@ func main() {
 			fatal(err)
 		}
 	case *baseline != "" && *current != "":
-		regressed, err := runCompare(*baseline, *current, *maxRegress)
+		regressed, err := runCompare(*baseline, *current, *maxRegress, *only)
 		if err != nil {
 			fatal(err)
 		}
@@ -145,7 +154,7 @@ func load(path string) (Snapshot, error) {
 	return s, nil
 }
 
-func runCompare(basePath, curPath string, maxRegress float64) (regressed bool, err error) {
+func runCompare(basePath, curPath string, maxRegress float64, only string) (regressed bool, err error) {
 	base, err := load(basePath)
 	if err != nil {
 		return false, err
@@ -154,25 +163,34 @@ func runCompare(basePath, curPath string, maxRegress float64) (regressed bool, e
 	if err != nil {
 		return false, err
 	}
-	return compare(base, cur, maxRegress, os.Stdout), nil
+	var filter *regexp.Regexp
+	if only != "" {
+		if filter, err = regexp.Compile(only); err != nil {
+			return false, fmt.Errorf("-only: %w", err)
+		}
+	}
+	return compare(base, cur, maxRegress, filter, os.Stdout), nil
 }
 
 // compare diffs two snapshots and reports whether the gate should fail: a
 // ns/op regression beyond maxRegress percent, or a benchmark that exists in
 // the baseline but vanished from the head (a silently deleted or renamed
 // benchmark would otherwise un-gate itself). New head-only benchmarks are
-// fine — they simply have no baseline yet.
-func compare(base, cur Snapshot, maxRegress float64, w io.Writer) (failed bool) {
+// fine — they simply have no baseline yet. A non-nil only regexp restricts
+// both checks to matching benchmark names. The summary reports the
+// geometric-mean head/base ratio over the compared set.
+func compare(base, cur Snapshot, maxRegress float64, only *regexp.Regexp, w io.Writer) (failed bool) {
+	match := func(name string) bool { return only == nil || only.MatchString(name) }
 	names := make([]string, 0, len(cur.Benchmarks))
 	for name := range cur.Benchmarks {
-		if _, ok := base.Benchmarks[name]; ok {
+		if _, ok := base.Benchmarks[name]; ok && match(name) {
 			names = append(names, name)
 		}
 	}
 	sort.Strings(names)
 	var missing []string
 	for name := range base.Benchmarks {
-		if _, ok := cur.Benchmarks[name]; !ok {
+		if _, ok := cur.Benchmarks[name]; !ok && match(name) {
 			missing = append(missing, name)
 		}
 	}
@@ -185,9 +203,11 @@ func compare(base, cur Snapshot, maxRegress float64, w io.Writer) (failed bool) 
 		fmt.Fprintf(w, "%-44s %12s %12s %8s\n", "benchmark", "base ns/op", "head ns/op", "delta")
 	}
 	regressed := false
+	var logSum float64
+	var compared int
 	for _, name := range names {
 		b, c := base.Benchmarks[name], cur.Benchmarks[name]
-		if b.NsPerOp <= 0 {
+		if b.NsPerOp <= 0 || c.NsPerOp <= 0 {
 			continue
 		}
 		delta := (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
@@ -197,6 +217,16 @@ func compare(base, cur Snapshot, maxRegress float64, w io.Writer) (failed bool) 
 			regressed = true
 		}
 		fmt.Fprintf(w, "%-44s %12.1f %12.1f %+7.1f%%%s\n", name, b.NsPerOp, c.NsPerOp, delta, mark)
+		logSum += math.Log(c.NsPerOp / b.NsPerOp)
+		compared++
+	}
+	if compared > 0 {
+		ratio := math.Exp(logSum / float64(compared))
+		fmt.Fprintf(w, "geomean head/base ns/op ratio over %d benchmark(s): %.3fx", compared, ratio)
+		if ratio < 1 {
+			fmt.Fprintf(w, " (%.1fx speed-up)", 1/ratio)
+		}
+		fmt.Fprintln(w)
 	}
 	for _, name := range missing {
 		fmt.Fprintf(w, "%-44s %12.1f %12s  << MISSING from head snapshot\n",

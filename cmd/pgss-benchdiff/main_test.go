@@ -1,6 +1,7 @@
 package main
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -17,7 +18,7 @@ func TestCompareMissingBenchmarkFails(t *testing.T) {
 	base := snap(map[string]float64{"BenchmarkA": 100, "BenchmarkB": 200})
 	cur := snap(map[string]float64{"BenchmarkA": 101})
 	var out strings.Builder
-	if !compare(base, cur, 15, &out) {
+	if !compare(base, cur, 15, nil, &out) {
 		t.Fatal("benchmark missing from head did not fail the gate")
 	}
 	got := out.String()
@@ -33,7 +34,7 @@ func TestCompareDetectsRegression(t *testing.T) {
 	base := snap(map[string]float64{"BenchmarkA": 100, "BenchmarkB": 100})
 	cur := snap(map[string]float64{"BenchmarkA": 130, "BenchmarkB": 105})
 	var out strings.Builder
-	if !compare(base, cur, 15, &out) {
+	if !compare(base, cur, 15, nil, &out) {
 		t.Fatal("30% regression under a 15% gate did not fail")
 	}
 	got := out.String()
@@ -46,7 +47,7 @@ func TestCompareCleanRunPasses(t *testing.T) {
 	base := snap(map[string]float64{"BenchmarkA": 100, "BenchmarkB": 200})
 	cur := snap(map[string]float64{"BenchmarkA": 110, "BenchmarkB": 190})
 	var out strings.Builder
-	if compare(base, cur, 15, &out) {
+	if compare(base, cur, 15, nil, &out) {
 		t.Fatalf("within-gate deltas failed the compare:\n%s", out.String())
 	}
 }
@@ -55,7 +56,7 @@ func TestCompareNewBenchmarkIsNotAFailure(t *testing.T) {
 	base := snap(map[string]float64{"BenchmarkA": 100})
 	cur := snap(map[string]float64{"BenchmarkA": 100, "BenchmarkNew": 50})
 	var out strings.Builder
-	if compare(base, cur, 15, &out) {
+	if compare(base, cur, 15, nil, &out) {
 		t.Fatalf("a benchmark new in head must not fail the gate:\n%s", out.String())
 	}
 }
@@ -64,12 +65,62 @@ func TestCompareNoOverlap(t *testing.T) {
 	// Nothing in common and nothing missing: an empty baseline matches any
 	// head (the first run ever has no baseline to hold the head to).
 	var out strings.Builder
-	if compare(snap(nil), snap(map[string]float64{"BenchmarkA": 100}), 15, &out) {
+	if compare(snap(nil), snap(map[string]float64{"BenchmarkA": 100}), 15, nil, &out) {
 		t.Fatal("empty baseline failed the gate")
 	}
 	// But a baseline whose every benchmark vanished is all-missing: fail.
 	out.Reset()
-	if !compare(snap(map[string]float64{"BenchmarkA": 100}), snap(nil), 15, &out) {
+	if !compare(snap(map[string]float64{"BenchmarkA": 100}), snap(nil), 15, nil, &out) {
 		t.Fatal("fully vanished benchmark set passed the gate")
+	}
+}
+
+func TestCompareOnlyFilter(t *testing.T) {
+	base := snap(map[string]float64{"BenchmarkAblationA": 100, "BenchmarkOther": 100, "BenchmarkGone": 50})
+	cur := snap(map[string]float64{"BenchmarkAblationA": 105, "BenchmarkOther": 500})
+	only := regexp.MustCompile(`^BenchmarkAblation`)
+	var out strings.Builder
+	// BenchmarkOther's 5x regression and BenchmarkGone's disappearance are
+	// both outside the filter: the gate must pass.
+	if compare(base, cur, 15, only, &out) {
+		t.Fatalf("filtered-out regression failed the gate:\n%s", out.String())
+	}
+	got := out.String()
+	if strings.Contains(got, "BenchmarkOther") || strings.Contains(got, "BenchmarkGone") {
+		t.Fatalf("filtered-out benchmarks appear in output:\n%s", got)
+	}
+	// The same snapshots without the filter must fail on both counts.
+	out.Reset()
+	if !compare(base, cur, 15, nil, &out) {
+		t.Fatal("unfiltered compare missed the regression")
+	}
+}
+
+func TestCompareGeomeanRatio(t *testing.T) {
+	// Ratios 0.5 and 0.125: geomean = sqrt(0.0625) = 0.25 => 4x speed-up.
+	base := snap(map[string]float64{"BenchmarkA": 1000, "BenchmarkB": 1000})
+	cur := snap(map[string]float64{"BenchmarkA": 500, "BenchmarkB": 125})
+	var out strings.Builder
+	if compare(base, cur, 15, nil, &out) {
+		t.Fatalf("speed-up failed the gate:\n%s", out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "geomean") || !strings.Contains(got, "0.250x") {
+		t.Fatalf("geomean ratio not reported as 0.250x:\n%s", got)
+	}
+	if !strings.Contains(got, "4.0x speed-up") {
+		t.Fatalf("speed-up factor not reported:\n%s", got)
+	}
+}
+
+func TestCompareGeomeanSkipsZeroes(t *testing.T) {
+	base := snap(map[string]float64{"BenchmarkA": 100, "BenchmarkZero": 0})
+	cur := snap(map[string]float64{"BenchmarkA": 100, "BenchmarkZero": 0})
+	var out strings.Builder
+	if compare(base, cur, 15, nil, &out) {
+		t.Fatalf("zero ns/op pair failed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "over 1 benchmark(s)") {
+		t.Fatalf("zero-valued benchmark not excluded from geomean:\n%s", out.String())
 	}
 }

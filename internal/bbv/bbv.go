@@ -233,6 +233,20 @@ func (t *Tracker) TakeRaw() Vector {
 	return v
 }
 
+// AppendRaw is TakeRaw appending into a caller-owned arena: the registers
+// are appended to dst and cleared, and the grown slice is returned. The
+// recording path in package profile lays every period's raw vector out in
+// one contiguous backing array (one allocation per recording instead of one
+// per period, and the layout the binary profile codec writes out directly).
+func (t *Tracker) AppendRaw(dst []float64) []float64 {
+	dst = append(dst, t.regs...)
+	for i := range t.regs {
+		t.regs[i] = 0
+	}
+	// Residual ops stay pending, as in TakeRaw.
+	return dst
+}
+
 // TakeVector compiles the registers into a normalised Vector and clears
 // them for the next sampling period.
 func (t *Tracker) TakeVector() Vector {

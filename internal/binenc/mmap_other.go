@@ -1,0 +1,12 @@
+//go:build !unix
+
+package binenc
+
+import "os"
+
+// MapFile reads path into memory. Non-unix platforms have no mmap fast
+// path; the semantics (a private buffer the caller may mutate) match the
+// unix implementation.
+func MapFile(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

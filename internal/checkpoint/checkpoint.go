@@ -97,15 +97,31 @@ func Record(c *cpu.Core, strideOps, maxOps uint64) (*Library, error) {
 	}
 	lib := &Library{strideOps: strideOps}
 	lib.checkpoints = append(lib.checkpoints, Capture(c))
-	var r cpu.Retired
+	buf := c.BlockBuf()
 	next := strideOps
-	for c.StepWarm(&r) {
+	// Warm in superblock batches clipped to the next capture (and maxOps)
+	// boundary, so every checkpoint lands on exactly the op position the
+	// historical per-op loop captured at.
+	for !c.M.Halted() {
+		chunk := next - c.M.Retired()
+		if maxOps > 0 {
+			if left := maxOps - c.M.Retired(); left < chunk {
+				chunk = left
+			}
+		}
+		if chunk > uint64(len(buf)) {
+			chunk = uint64(len(buf))
+		}
+		n := c.StepWarmBlock(buf[:chunk])
 		if c.M.Retired() >= next {
 			lib.checkpoints = append(lib.checkpoints, Capture(c))
 			next += strideOps
 		}
 		if maxOps > 0 && c.M.Retired() >= maxOps {
 			break
+		}
+		if uint64(n) < chunk {
+			break // halted mid-chunk; the error check below classifies it
 		}
 	}
 	if err := c.M.Err(); err != nil {
@@ -140,13 +156,18 @@ func (l *Library) Seek(c *cpu.Core, pos uint64) (warmOps uint64, err error) {
 	if err := ck.Restore(c); err != nil {
 		return 0, err
 	}
-	var r cpu.Retired
+	buf := c.BlockBuf()
 	for c.M.Retired() < pos {
-		if !c.StepWarm(&r) {
+		chunk := pos - c.M.Retired()
+		if chunk > uint64(len(buf)) {
+			chunk = uint64(len(buf))
+		}
+		n := c.StepWarmBlock(buf[:chunk])
+		warmOps += uint64(n)
+		if uint64(n) < chunk {
 			return warmOps, pgsserrors.Invalidf("checkpoint: program ended at %d before position %d",
 				c.M.Retired(), pos)
 		}
-		warmOps++
 	}
 	return warmOps, nil
 }
@@ -159,16 +180,28 @@ func (l *Library) SampleAt(c *cpu.Core, pos, warmup, sample uint64) (ipc float64
 	if err != nil {
 		return 0, seekOps, err
 	}
-	var r cpu.Retired
-	for i := uint64(0); i < warmup; i++ {
-		if !c.StepDetailed(&r) {
+	buf := c.BlockBuf()
+	for got := uint64(0); got < warmup; {
+		chunk := warmup - got
+		if chunk > uint64(len(buf)) {
+			chunk = uint64(len(buf))
+		}
+		n := c.StepDetailedBlock(buf[:chunk])
+		got += uint64(n)
+		if uint64(n) < chunk {
 			return 0, seekOps, pgsserrors.Invalidf("checkpoint: program ended during warm-up")
 		}
 	}
 	startCycles := c.T.Cycle()
 	var done uint64
-	for ; done < sample; done++ {
-		if !c.StepDetailed(&r) {
+	for done < sample {
+		chunk := sample - done
+		if chunk > uint64(len(buf)) {
+			chunk = uint64(len(buf))
+		}
+		n := c.StepDetailedBlock(buf[:chunk])
+		done += uint64(n)
+		if uint64(n) < chunk {
 			break
 		}
 	}

@@ -1,10 +1,13 @@
 package checkpoint
 
 import (
+	"bytes"
 	"encoding/gob"
+	"encoding/json"
 	"fmt"
 	"io"
 
+	"pgss/internal/binenc"
 	"pgss/internal/cpu"
 	"pgss/internal/faultinject"
 	"pgss/internal/pgsserrors"
@@ -17,20 +20,61 @@ func init() {
 	gob.Register(cpu.OoOState{})
 }
 
-// libraryImage is the on-disk form of a Library.
+// On-disk binary library: a binenc container with the magic below. Frame 1
+// is a JSON meta header; each following frame is one gob-encoded
+// checkpoint. Checkpoints stay gob (their Timing field is an open interface
+// union), but per-checkpoint framing means a corrupt or truncated tail is
+// caught by CRC before gob ever sees it, and the meta count cross-checks
+// that no frame went missing.
+const (
+	libraryMagic   = "PGSSCKPT"
+	libraryVersion = 1
+
+	tagLibraryMeta       = 1
+	tagLibraryCheckpoint = 2
+)
+
+// libraryMeta is the JSON meta frame of a binary library.
+type libraryMeta struct {
+	StrideOps uint64
+	Count     int
+}
+
+// libraryImage is the legacy whole-file gob form of a Library, kept for
+// reading caches written before the binary format existed.
 type libraryImage struct {
 	StrideOps   uint64
 	Checkpoints []*Checkpoint
 }
 
-// Save writes the library to path on fsys (nil = the real filesystem).
-// The write is crash-consistent (temp file + fsync + rename via
-// faultinject.WriteAtomic): a crash leaves the previous library intact,
-// never a torn one.
+// Save writes the library to path on fsys (nil = the real filesystem) in
+// the CRC-framed binary format. The write is crash-consistent (temp file +
+// fsync + rename via faultinject.WriteAtomic): a crash leaves the previous
+// library intact, never a torn one.
 func (l *Library) Save(fsys faultinject.FS, path string) error {
-	img := libraryImage{StrideOps: l.strideOps, Checkpoints: l.checkpoints}
 	err := faultinject.WriteAtomic(fsys, path, 0o644, func(w io.Writer) error {
-		return gob.NewEncoder(w).Encode(img)
+		bw, err := binenc.NewWriter(w, libraryMagic, libraryVersion)
+		if err != nil {
+			return err
+		}
+		meta, err := json.Marshal(libraryMeta{StrideOps: l.strideOps, Count: len(l.checkpoints)})
+		if err != nil {
+			return err
+		}
+		if err := bw.Frame(tagLibraryMeta, meta); err != nil {
+			return err
+		}
+		var buf bytes.Buffer
+		for _, ck := range l.checkpoints {
+			buf.Reset()
+			if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
+				return err
+			}
+			if err := bw.Frame(tagLibraryCheckpoint, buf.Bytes()); err != nil {
+				return err
+			}
+		}
+		return nil
 	})
 	if err != nil {
 		return fmt.Errorf("checkpoint: save: %w", err)
@@ -39,24 +83,101 @@ func (l *Library) Save(fsys faultinject.FS, path string) error {
 }
 
 // Load reads a library written by Save from fsys (nil = the real
-// filesystem). Decode failures and structural violations are reported as
-// ErrCacheCorrupt so callers can delete the file and re-record; a missing
-// file keeps its os error (check with os.IsNotExist).
+// filesystem). Files are sniffed by magic: binary containers take the
+// framed path (mmapped on the real filesystem), anything else falls back
+// to the legacy whole-file gob decoder. Decode failures, version skew and
+// structural violations are reported as ErrCacheCorrupt so callers can
+// delete the file and re-record; a missing file keeps its os error (check
+// with os.IsNotExist).
 func Load(fsys faultinject.FS, path string) (*Library, error) {
+	data, err := readLibraryBytes(fsys, path)
+	if err != nil {
+		return nil, err
+	}
+	var lib *Library
+	if binenc.HasMagic(data, libraryMagic) {
+		lib, err = decodeBinaryLibrary(data)
+	} else {
+		lib, err = decodeGobLibrary(data)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %s: %w", path, err)
+	}
+	if err := lib.checkIntegrity(); err != nil {
+		return nil, fmt.Errorf("checkpoint: %s: %w", path, err)
+	}
+	return lib, nil
+}
+
+// readLibraryBytes loads the raw library file — mmapped on the real
+// filesystem, through the FS seam otherwise (injected filesystems must
+// observe every read for fault schedules to stay deterministic).
+func readLibraryBytes(fsys faultinject.FS, path string) ([]byte, error) {
+	if faultinject.IsOS(fsys) {
+		return binenc.MapFile(path)
+	}
 	f, err := faultinject.Open(fsys, path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	return io.ReadAll(f)
+}
+
+func decodeBinaryLibrary(data []byte) (*Library, error) {
+	r, version, err := binenc.NewReader(data, libraryMagic)
+	if err != nil {
+		return nil, err
+	}
+	if version != libraryVersion {
+		return nil, pgsserrors.Corruptf("unsupported binary library version %d (want %d)", version, libraryVersion)
+	}
+	var (
+		meta    libraryMeta
+		gotMeta bool
+		lib     Library
+	)
+	for {
+		tag, payload, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch tag {
+		case tagLibraryMeta:
+			if err := json.Unmarshal(payload, &meta); err != nil {
+				return nil, pgsserrors.Corruptf("bad library meta frame: %v", err)
+			}
+			gotMeta = true
+		case tagLibraryCheckpoint:
+			var ck Checkpoint
+			if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ck); err != nil {
+				return nil, pgsserrors.Corruptf("checkpoint frame %d: %v", len(lib.checkpoints), err)
+			}
+			lib.checkpoints = append(lib.checkpoints, &ck)
+		default:
+			return nil, pgsserrors.Corruptf("unknown library frame tag %d", tag)
+		}
+	}
+	if !gotMeta {
+		return nil, pgsserrors.Corruptf("missing library meta frame")
+	}
+	if len(lib.checkpoints) != meta.Count {
+		return nil, pgsserrors.Corruptf("library holds %d checkpoints, meta declares %d",
+			len(lib.checkpoints), meta.Count)
+	}
+	lib.strideOps = meta.StrideOps
+	return &lib, nil
+}
+
+func decodeGobLibrary(data []byte) (*Library, error) {
 	var img libraryImage
-	if err := gob.NewDecoder(f).Decode(&img); err != nil {
-		return nil, pgsserrors.Corruptf("checkpoint: decode %s: %v", path, err)
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&img); err != nil {
+		return nil, pgsserrors.Corruptf("gob decode: %v", err)
 	}
-	lib := &Library{strideOps: img.StrideOps, checkpoints: img.Checkpoints}
-	if err := lib.checkIntegrity(); err != nil {
-		return nil, fmt.Errorf("checkpoint: %s: %w", path, err)
-	}
-	return lib, nil
+	return &Library{strideOps: img.StrideOps, checkpoints: img.Checkpoints}, nil
 }
 
 // checkIntegrity verifies the structural invariants a healthy library

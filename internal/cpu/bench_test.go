@@ -73,3 +73,40 @@ func BenchmarkCoreStepWarm(b *testing.B) {
 func BenchmarkCoreStepFF(b *testing.B) {
 	stepLoop(b, cpu.DefaultCoreConfig(), (*cpu.Core).StepFF)
 }
+
+// blockLoop drives one batch step function for b.N retired ops, rebuilding
+// the core when the program halts. ns/op is per retired instruction, so the
+// numbers compare directly with the per-op StepX benchmarks above.
+func blockLoop(b *testing.B, block func(c *cpu.Core, buf []cpu.Retired) int) {
+	c := benchCore(b, cpu.DefaultCoreConfig())
+	buf := c.BlockBuf()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n := block(c, buf)
+		if n < len(buf) {
+			b.StopTimer()
+			c = benchCore(b, cpu.DefaultCoreConfig())
+			buf = c.BlockBuf()
+			b.StartTimer()
+		}
+		done += n
+	}
+}
+
+// BenchmarkCoreStepDetailedBlock measures the batched detailed loop (the
+// superblock interpreter feeding the scoreboard).
+func BenchmarkCoreStepDetailedBlock(b *testing.B) {
+	blockLoop(b, (*cpu.Core).StepDetailedBlock)
+}
+
+// BenchmarkCoreStepWarmBlock measures the batched functional-warming loop.
+func BenchmarkCoreStepWarmBlock(b *testing.B) {
+	blockLoop(b, (*cpu.Core).StepWarmBlock)
+}
+
+// BenchmarkCoreStepFFBlock measures the batched plain fast-forward loop —
+// the superblock interpreter alone, no warming or timing.
+func BenchmarkCoreStepFFBlock(b *testing.B) {
+	blockLoop(b, (*cpu.Core).StepFFBlock)
+}

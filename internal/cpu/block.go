@@ -1,0 +1,58 @@
+package cpu
+
+import "pgss/internal/isa"
+
+// BlockOps is the standard batch size for the Step*Block fast paths. Large
+// enough to amortise dispatch into the superblock interpreter, small enough
+// that a batch of Retired records (~40 KiB) stays cache-resident.
+const BlockOps = 512
+
+// BlockBuf returns the core's reusable retirement batch buffer, allocating
+// it on first use. The buffer is owned by whoever is driving the core: a
+// Core is single-goroutine at a time (the parallel engine gives every shard
+// and sample worker its own Core), so one scratch buffer per core is safe
+// and keeps the hot loops allocation-free.
+func (c *Core) BlockBuf() []Retired {
+	if c.block == nil {
+		c.block = make([]Retired, BlockOps)
+	}
+	return c.block
+}
+
+// StepFFBlock executes up to len(buf) instructions in plain fast-forward
+// mode and returns the retire count. Equivalent to that many StepFF calls.
+func (c *Core) StepFFBlock(buf []Retired) int {
+	return c.M.StepBlock(buf)
+}
+
+// StepWarmBlock executes up to len(buf) instructions in functional-warming
+// mode. The machine runs a superblock batch first, then the cache and
+// branch state are warmed from the recorded retire stream; warming never
+// feeds back into architectural execution, so the interleaving change is
+// unobservable and the final state matches per-op StepWarm exactly.
+func (c *Core) StepWarmBlock(buf []Retired) int {
+	n := c.M.StepBlock(buf)
+	for i := range buf[:n] {
+		r := &buf[i]
+		c.Hier.Warm(r.Addr, false, true)
+		if r.Op.IsMem() {
+			c.Hier.Warm(r.MemAddr, r.Op == isa.ST, false)
+		}
+		if r.Op.IsControl() {
+			c.T.WarmControl(r)
+		}
+	}
+	return n
+}
+
+// StepDetailedBlock executes up to len(buf) instructions under the full
+// timing model. As with warming, the timing model consumes the retire
+// stream and never influences architectural execution, so batch-then-retire
+// produces cycle counts identical to per-op StepDetailed.
+func (c *Core) StepDetailedBlock(buf []Retired) int {
+	n := c.M.StepBlock(buf)
+	for i := range buf[:n] {
+		c.T.Retire(&buf[i])
+	}
+	return n
+}

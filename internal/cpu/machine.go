@@ -49,6 +49,7 @@ var ErrWildJump = errors.New("jump target outside code image")
 type Machine struct {
 	prog *program.Program
 	code []isa.Inst
+	img  *progImage // decode-once image for StepBlock, pinned on first use
 
 	regs [isa.NumRegs]int64
 	data []int64

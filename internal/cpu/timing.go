@@ -230,6 +230,7 @@ type Core struct {
 	T    Pipeline
 
 	lineMask uint64
+	block    []Retired // reusable batch buffer, see BlockBuf
 }
 
 // CoreConfig sizes a Core.

@@ -71,8 +71,18 @@ type Suite struct {
 	hash *bbv.Hash
 
 	mu        sync.Mutex
-	profiles  map[string]*profile.Profile
-	recording map[string]*recordJob
+	profiles  map[profileKey]*profile.Profile
+	recording map[profileKey]*recordJob
+}
+
+// profileKey identifies one memoised recording: ablations that re-record
+// at non-default lengths or hash widths (hash-width sweeps in particular)
+// share the same singleflight cache as the default profiles, so each
+// variant records exactly once per suite.
+type profileKey struct {
+	name string
+	ops  uint64
+	bits int
 }
 
 // recordJob is the in-flight marker of one benchmark being recorded
@@ -98,8 +108,8 @@ func NewSuite(opts Options) (*Suite, error) {
 	return &Suite{
 		opts:      opts,
 		hash:      hash,
-		profiles:  map[string]*profile.Profile{},
-		recording: map[string]*recordJob{},
+		profiles:  map[profileKey]*profile.Profile{},
+		recording: map[profileKey]*recordJob{},
 	}, nil
 }
 
@@ -128,12 +138,18 @@ func (s *Suite) targetOps(spec *workload.Spec) uint64 {
 	return uint64(float64(spec.DefaultOps) * s.opts.SizeFactor)
 }
 
-func (s *Suite) cachePath(spec *workload.Spec) string {
+func (s *Suite) cachePath(key profileKey) string {
 	if s.opts.CacheDir == "" {
 		return ""
 	}
-	return filepath.Join(s.opts.CacheDir, fmt.Sprintf("%s_ops%d_h%d_v%d.profile",
-		spec.Name, s.targetOps(spec), s.opts.HashSeed, schemaVersion))
+	// Default-width profiles keep the historical filename, so existing
+	// caches stay warm across this change; width variants get a suffix.
+	suffix := ""
+	if key.bits != s.hash.Width() {
+		suffix = fmt.Sprintf("_b%d", key.bits)
+	}
+	return filepath.Join(s.opts.CacheDir, fmt.Sprintf("%s_ops%d_h%d_v%d%s.profile",
+		key.name, key.ops, s.opts.HashSeed, schemaVersion, suffix))
 }
 
 // fs returns the cache filesystem (real OS when Options.FS is nil).
@@ -158,31 +174,52 @@ func (s *Suite) ctx() context.Context {
 	return context.Background()
 }
 
-// Profile returns the detailed profile of the named benchmark, recording
-// it (one full detailed pass) on first use and caching in memory and, when
-// configured, on disk. Concurrent callers asking for the same missing
-// benchmark share one recording.
+// Profile returns the detailed profile of the named benchmark at the
+// suite's default length and hash width, recording it (one full detailed
+// pass) on first use and caching in memory and, when configured, on disk.
+// Concurrent callers asking for the same missing benchmark share one
+// recording.
 func (s *Suite) Profile(name string) (*profile.Profile, error) {
+	return s.ProfileWith(name, 0, 0)
+}
+
+// ProfileWith is Profile at an explicit recording length and BBV hash
+// width (0 = the suite default for either). Every (name, ops, bits)
+// variant is memoised independently, so ablation sweeps that re-record at
+// non-default parameters pay for each recording once per suite.
+func (s *Suite) ProfileWith(name string, ops uint64, bits int) (*profile.Profile, error) {
+	spec, err := workload.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	if ops == 0 {
+		ops = s.targetOps(spec)
+	}
+	if bits == 0 {
+		bits = s.hash.Width()
+	}
+	key := profileKey{name: name, ops: ops, bits: bits}
+
 	s.mu.Lock()
-	if p, ok := s.profiles[name]; ok {
+	if p, ok := s.profiles[key]; ok {
 		s.mu.Unlock()
 		return p, nil
 	}
-	if job, ok := s.recording[name]; ok {
+	if job, ok := s.recording[key]; ok {
 		s.mu.Unlock()
 		<-job.done
 		return job.p, job.err
 	}
 	job := &recordJob{done: make(chan struct{})}
-	s.recording[name] = job
+	s.recording[key] = job
 	s.mu.Unlock()
 
-	job.p, job.err = s.recordOne(name)
+	job.p, job.err = s.recordOne(spec, key)
 	s.mu.Lock()
 	if job.err == nil {
-		s.profiles[name] = job.p
+		s.profiles[key] = job.p
 	}
-	delete(s.recording, name)
+	delete(s.recording, key)
 	s.mu.Unlock()
 	close(job.done)
 	return job.p, job.err
@@ -203,14 +240,20 @@ func PaperTenNames() []string {
 // any missing ones in parallel (one independent simulator per benchmark).
 func (s *Suite) PaperTen() ([]*profile.Profile, error) {
 	names := PaperTenNames()
-	s.mu.Lock()
 	var missing []string
 	for _, n := range names {
-		if _, ok := s.profiles[n]; !ok {
+		spec, err := workload.Get(n)
+		if err != nil {
+			return nil, err
+		}
+		key := profileKey{name: n, ops: s.targetOps(spec), bits: s.hash.Width()}
+		s.mu.Lock()
+		_, ok := s.profiles[key]
+		s.mu.Unlock()
+		if !ok {
 			missing = append(missing, n)
 		}
 	}
-	s.mu.Unlock()
 	if len(missing) > 1 {
 		if err := s.recordParallel(missing); err != nil {
 			return nil, err
@@ -250,16 +293,12 @@ func (s *Suite) recordParallel(names []string) error {
 	return rep.FirstError()
 }
 
-// recordOne loads or records one benchmark without touching the shared
-// profile map (parallel-safe). A corrupt cache file — truncated write,
-// schema drift inside the gob, bit rot — is not fatal: it is logged,
-// deleted and re-recorded (self-healing cache).
-func (s *Suite) recordOne(name string) (*profile.Profile, error) {
-	spec, err := workload.Get(name)
-	if err != nil {
-		return nil, err
-	}
-	if path := s.cachePath(spec); path != "" {
+// recordOne loads or records one profile variant without touching the
+// shared profile map (parallel-safe). A corrupt cache file — truncated
+// write, schema drift, bit rot — is not fatal: it is logged, deleted and
+// re-recorded (self-healing cache).
+func (s *Suite) recordOne(spec *workload.Spec, key profileKey) (*profile.Profile, error) {
+	if path := s.cachePath(key); path != "" {
 		p, err := profile.LoadFS(s.opts.FS, path)
 		switch {
 		case err == nil:
@@ -274,8 +313,15 @@ func (s *Suite) recordOne(name string) (*profile.Profile, error) {
 			}
 		}
 	}
-	s.logf("recording %s (%d ops)...\n", name, s.targetOps(spec))
-	prog, err := spec.Build(s.targetOps(spec))
+	hash := s.hash
+	if key.bits != s.hash.Width() {
+		var err error
+		if hash, err = bbv.NewHash(key.bits, s.opts.HashSeed); err != nil {
+			return nil, err
+		}
+	}
+	s.logf("recording %s (%d ops, %d-bit hash)...\n", key.name, key.ops, key.bits)
+	prog, err := spec.Build(key.ops)
 	if err != nil {
 		return nil, err
 	}
@@ -287,11 +333,11 @@ func (s *Suite) recordOne(name string) (*profile.Profile, error) {
 	if err != nil {
 		return nil, err
 	}
-	p, err := profile.RecordContext(s.ctx(), core, s.hash, profile.DefaultConfig())
+	p, err := profile.RecordContext(s.ctx(), core, hash, profile.DefaultConfig())
 	if err != nil {
 		return nil, err
 	}
-	if path := s.cachePath(spec); path != "" {
+	if path := s.cachePath(key); path != "" {
 		if err := p.SaveFS(s.opts.FS, path); err != nil {
 			s.logf("profile cache write failed: %v\n", err)
 		}

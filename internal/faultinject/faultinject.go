@@ -73,6 +73,14 @@ type osFS struct{}
 // OS returns the real-filesystem FS.
 func OS() FS { return osFS{} }
 
+// IsOS reports whether fsys is the real filesystem (nil or OS()). Loaders
+// use it to decide when OS-level fast paths — mmap in particular — are
+// sound; injected filesystems must see every read through the FS seam so
+// fault schedules stay deterministic.
+func IsOS(fsys FS) bool {
+	return fsys == nil || fsys == osFS{}
+}
+
 // orOS substitutes the real filesystem for a nil FS, so callers can thread
 // an optional FS without nil checks at every use.
 func orOS(fsys FS) FS {

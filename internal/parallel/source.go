@@ -175,7 +175,7 @@ func (s *LiveSource) Windows(ctx context.Context, ffOps uint64, first int, out [
 		return fmt.Errorf("parallel: shard at window %d: %w", first, err)
 	}
 	tracker := bbv.NewTracker(s.hash)
-	var r cpu.Retired
+	buf := c.BlockBuf()
 	pos := start
 	for i := range out {
 		if err := ctx.Err(); err != nil {
@@ -185,14 +185,30 @@ func (s *LiveSource) Windows(ctx context.Context, ffOps uint64, first int, out [
 		if remaining := s.total - pos; remaining < want {
 			want = remaining
 		}
-		var done uint64
-		for done < want && c.StepWarm(&r) {
-			tracker.RetireOps(1)
-			if r.Taken {
-				tracker.TakenBranch(r.Addr)
+		// Superblock-batched functional warming with run-batched tracker
+		// updates; exact-integer float accumulation makes the window BBVs
+		// identical to the historical per-op loop.
+		var done, run uint64
+		for done < want && !c.M.Halted() {
+			chunk := want - done
+			if chunk > uint64(len(buf)) {
+				chunk = uint64(len(buf))
 			}
-			done++
+			n := c.StepWarmBlock(buf[:chunk])
+			for j := range buf[:n] {
+				run++
+				if buf[j].Taken {
+					tracker.RetireOps(run)
+					tracker.TakenBranch(buf[j].Addr)
+					run = 0
+				}
+			}
+			done += uint64(n)
+			if uint64(n) < chunk {
+				break
+			}
 		}
+		tracker.RetireOps(run)
 		if err := c.M.Err(); err != nil {
 			return fmt.Errorf("parallel: %s halted abnormally in window %d: %w", s.name, first+i, err)
 		}

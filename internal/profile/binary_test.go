@@ -1,0 +1,135 @@
+package profile
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"pgss/internal/binenc"
+	"pgss/internal/faultinject"
+	"pgss/internal/pgsserrors"
+)
+
+// stripPrefix clears the lazily built prefix-sum cache so DeepEqual
+// compares only the persisted fields.
+func stripPrefix(p *Profile) *Profile {
+	return &Profile{
+		Benchmark:   p.Benchmark,
+		HashBits:    p.HashBits,
+		FineOps:     p.FineOps,
+		BBVOps:      p.BBVOps,
+		TotalOps:    p.TotalOps,
+		TotalCycles: p.TotalCycles,
+		Cycles:      p.Cycles,
+		TailOps:     p.TailOps,
+		RawBBVs:     p.RawBBVs,
+	}
+}
+
+func TestBinaryFileFormat(t *testing.T) {
+	prog := computeProgram(t, 3000)
+	p := record(t, prog, Config{FineOps: 1000, BBVOps: 5000})
+	path := filepath.Join(t.TempDir(), "p.bin")
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !binenc.HasMagic(data, profileMagic) {
+		t.Fatalf("saved profile does not start with %q", profileMagic)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripPrefix(got), stripPrefix(p)) {
+		t.Fatal("binary round-trip changed the profile")
+	}
+}
+
+func TestLoadLegacyGob(t *testing.T) {
+	prog := computeProgram(t, 3000)
+	p := record(t, prog, Config{FineOps: 1000, BBVOps: 5000})
+	path := filepath.Join(t.TempDir(), "legacy.gob")
+	// Write the pre-binary on-disk form: a whole-file gob of the Profile.
+	err := faultinject.WriteAtomic(nil, path, 0o644, func(w io.Writer) error {
+		return gob.NewEncoder(w).Encode(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("legacy gob profile failed to load: %v", err)
+	}
+	if !reflect.DeepEqual(stripPrefix(got), stripPrefix(p)) {
+		t.Fatal("legacy gob round-trip changed the profile")
+	}
+}
+
+func TestLoadVersionSkew(t *testing.T) {
+	prog := computeProgram(t, 3000)
+	p := record(t, prog, Config{FineOps: 1000, BBVOps: 5000})
+	var buf bytes.Buffer
+	if err := p.encodeBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Bump the container version in place; the CRCs cover frame payloads,
+	// not the header, so only the version check can catch this.
+	data[8]++
+	path := filepath.Join(t.TempDir(), "future.bin")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, pgsserrors.ErrCacheCorrupt) {
+		t.Fatalf("future version: err = %v, want ErrCacheCorrupt", err)
+	}
+}
+
+func TestLoadCorruptArena(t *testing.T) {
+	prog := computeProgram(t, 3000)
+	p := record(t, prog, Config{FineOps: 1000, BBVOps: 5000})
+	path := filepath.Join(t.TempDir(), "p.bin")
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the BBV arena (the tail of the file, before the final
+	// CRC trailer): the frame CRC must catch it.
+	data[len(data)-20] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, pgsserrors.ErrCacheCorrupt) {
+		t.Fatalf("corrupt arena: err = %v, want ErrCacheCorrupt", err)
+	}
+}
+
+func TestLoadThroughInjectedFS(t *testing.T) {
+	// An injected filesystem must not take the mmap shortcut; the load goes
+	// through the FS seam and still round-trips.
+	prog := computeProgram(t, 3000)
+	p := record(t, prog, Config{FineOps: 1000, BBVOps: 5000})
+	fsys := faultinject.NewMemFS()
+	if err := p.SaveFS(fsys, "dir/p.bin"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFS(fsys, "dir/p.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripPrefix(got), stripPrefix(p)) {
+		t.Fatal("MemFS round-trip changed the profile")
+	}
+}

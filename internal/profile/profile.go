@@ -14,13 +14,13 @@ package profile
 
 import (
 	"context"
-	"encoding/gob"
 	"fmt"
 	"io"
 	"math"
 	"sync"
 
 	"pgss/internal/bbv"
+	"pgss/internal/binenc"
 	"pgss/internal/cpu"
 	"pgss/internal/faultinject"
 	"pgss/internal/pgsserrors"
@@ -91,8 +91,17 @@ func Record(core *cpu.Core, hash *bbv.Hash, cfg Config) (*Profile, error) {
 const ctxCheckOps = 1 << 16
 
 // RecordContext is Record with cooperative cancellation: the context is
-// polled every ctxCheckOps retired ops and a cancelled or expired context
+// polled every ~ctxCheckOps retired ops and a cancelled or expired context
 // aborts the recording with an ErrBudgetExceeded-classed error.
+//
+// The hot loop runs the superblock interpreter a fine interval at a time
+// (chunks never straddle a FineOps boundary, and BBVOps is a multiple of
+// FineOps, so every recording boundary lands exactly where the per-op loop
+// put it) and batches tracker updates per straight-line run. Raw BBVs are
+// laid out in one flat arena and sliced into RawBBVs at the end. The
+// recorded profile is bit-identical to the historical per-op loop: integer
+// op counts accumulate exactly in float64, so charging a run of n ops in
+// one RetireOps call equals n calls of RetireOps(1).
 func RecordContext(ctx context.Context, core *cpu.Core, hash *bbv.Hash, cfg Config) (*Profile, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -103,28 +112,52 @@ func RecordContext(ctx context.Context, core *cpu.Core, hash *bbv.Hash, cfg Conf
 		FineOps:   cfg.FineOps,
 		BBVOps:    cfg.BBVOps,
 	}
+	width := hash.Buckets()
+	var arena []float64
+	if cfg.MaxOps > 0 {
+		p.Cycles = make([]uint32, 0, cfg.MaxOps/cfg.FineOps+1)
+		arena = make([]float64, 0, (cfg.MaxOps/cfg.BBVOps+1)*uint64(width))
+	}
 	tracker := bbv.NewTracker(hash)
-	var r cpu.Retired
-	var ops uint64
+	buf := core.BlockBuf()
+	var ops, run uint64
+	nextCtx := uint64(ctxCheckOps)
 	lastCycles := core.T.Cycle()
-	for core.StepDetailed(&r) {
-		ops++
-		tracker.RetireOps(1)
-		if r.Taken {
-			tracker.TakenBranch(r.Addr)
+	for !core.M.Halted() {
+		chunk := cfg.FineOps - ops%cfg.FineOps
+		if cfg.MaxOps > 0 {
+			if left := cfg.MaxOps - ops; left < chunk {
+				chunk = left
+			}
 		}
-		if ops%cfg.FineOps == 0 {
+		if chunk > uint64(len(buf)) {
+			chunk = uint64(len(buf))
+		}
+		n := core.StepDetailedBlock(buf[:chunk])
+		for i := range buf[:n] {
+			run++
+			if buf[i].Taken {
+				tracker.RetireOps(run)
+				tracker.TakenBranch(buf[i].Addr)
+				run = 0
+			}
+		}
+		ops += uint64(n)
+		if ops%cfg.FineOps == 0 && n > 0 {
 			now := core.T.Cycle()
 			p.Cycles = append(p.Cycles, uint32(now-lastCycles))
 			lastCycles = now
-		}
-		if ops%cfg.BBVOps == 0 {
-			p.RawBBVs = append(p.RawBBVs, tracker.TakeRaw())
+			if ops%cfg.BBVOps == 0 {
+				tracker.RetireOps(run)
+				run = 0
+				arena = tracker.AppendRaw(arena)
+			}
 		}
 		if cfg.MaxOps > 0 && ops >= cfg.MaxOps {
 			break
 		}
-		if ops%ctxCheckOps == 0 {
+		if ops >= nextCtx {
+			nextCtx += ctxCheckOps
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("profile: %s: recording cancelled after %d ops: %w (%w)",
 					p.Benchmark, ops, pgsserrors.ErrBudgetExceeded, err)
@@ -134,6 +167,7 @@ func RecordContext(ctx context.Context, core *cpu.Core, hash *bbv.Hash, cfg Conf
 	if err := core.M.Err(); err != nil {
 		return nil, fmt.Errorf("profile: %s halted abnormally after %d ops: %w", p.Benchmark, ops, err)
 	}
+	tracker.RetireOps(run)
 	// Tail intervals.
 	if tail := ops % cfg.FineOps; tail != 0 {
 		now := core.T.Cycle()
@@ -141,7 +175,11 @@ func RecordContext(ctx context.Context, core *cpu.Core, hash *bbv.Hash, cfg Conf
 		p.TailOps = tail
 	}
 	if ops%cfg.BBVOps != 0 {
-		p.RawBBVs = append(p.RawBBVs, tracker.TakeRaw())
+		arena = tracker.AppendRaw(arena)
+	}
+	p.RawBBVs = make([]bbv.Vector, 0, len(arena)/width)
+	for off := 0; off < len(arena); off += width {
+		p.RawBBVs = append(p.RawBBVs, bbv.Vector(arena[off:off+width:off+width]))
 	}
 	p.TotalOps = ops
 	p.TotalCycles = core.T.Cycle()
@@ -367,12 +405,13 @@ func (p *Profile) CheckIntegrity() error {
 func (p *Profile) Save(path string) error { return p.SaveFS(nil, path) }
 
 // SaveFS writes the profile to path on fsys (nil = the real filesystem)
-// with gob encoding, creating parent directories as needed. The write is
-// crash-consistent: temp file, fsync, rename — a crash at any instant
-// leaves either the old profile or the new one, never a torn file.
+// in the CRC-framed binary format (see binary.go), creating parent
+// directories as needed. The write is crash-consistent: temp file, fsync,
+// rename — a crash at any instant leaves either the old profile or the new
+// one, never a torn file.
 func (p *Profile) SaveFS(fsys faultinject.FS, path string) error {
 	err := faultinject.WriteAtomic(fsys, path, 0o644, func(w io.Writer) error {
-		return gob.NewEncoder(w).Encode(p)
+		return p.encodeBinary(w)
 	})
 	if err != nil {
 		return fmt.Errorf("profile: save: %w", err)
@@ -385,22 +424,28 @@ func (p *Profile) SaveFS(fsys faultinject.FS, path string) error {
 func Load(path string) (*Profile, error) { return LoadFS(nil, path) }
 
 // LoadFS reads a profile written by SaveFS from fsys (nil = the real
-// filesystem). Decode failures and integrity violations (truncated writes,
-// schema drift) are reported as ErrCacheCorrupt so callers can delete the
-// file and re-record; a missing file keeps its os error (check with
-// os.IsNotExist).
+// filesystem). Files are sniffed by magic: the binary container decodes
+// with zero copies (mmapped on the real filesystem), anything else falls
+// back to the legacy gob decoder, so pre-binary caches stay readable.
+// Decode failures, version skew and integrity violations are reported as
+// ErrCacheCorrupt so callers can delete the file and re-record; a missing
+// file keeps its os error (check with os.IsNotExist).
 func LoadFS(fsys faultinject.FS, path string) (*Profile, error) {
-	f, err := faultinject.Open(fsys, path)
+	data, err := readProfileBytes(fsys, path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	var p Profile
-	if err := gob.NewDecoder(f).Decode(&p); err != nil {
-		return nil, pgsserrors.Corruptf("profile: decode %s: %v", path, err)
+	var p *Profile
+	if binenc.HasMagic(data, profileMagic) {
+		p, err = decodeBinary(data)
+	} else {
+		p, err = decodeGob(data)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("profile: %s: %w", path, err)
 	}
 	if err := p.CheckIntegrity(); err != nil {
 		return nil, fmt.Errorf("profile: %s: %w", path, err)
 	}
-	return &p, nil
+	return p, nil
 }

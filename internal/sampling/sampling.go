@@ -225,7 +225,6 @@ type LiveTarget struct {
 	total   uint64 // declared length; 0 = run to halt (TotalOps unknown)
 	trueIPC float64
 	pos     uint64
-	ret     cpu.Retired
 }
 
 // NewLiveTarget wraps a core. totalOps may be 0 when unknown; trueIPC may
@@ -258,49 +257,62 @@ func (t *LiveTarget) Done() bool { return t.core.M.Halted() }
 // abnormal only when the machine itself reports an error.
 func (t *LiveTarget) Err() error { return t.core.M.Err() }
 
-// NextWindow implements Target.
+// NextWindow implements Target. Each segment (detailed warm-up, measured
+// sample, functional-warming remainder) runs in superblock batches through
+// the core's scratch buffer; tracker updates are run-batched per taken
+// branch, which accumulates identically to the historical per-op loop
+// (integer op counts are exact in float64).
 func (t *LiveTarget) NextWindow(ops, warm, sample uint64) (Window, bool) {
 	if t.Done() {
 		return Window{}, false
 	}
 	w := Window{SampleIPC: math.NaN()}
+	buf := t.core.BlockBuf()
 	var done uint64
 
-	step := func(mode int) bool {
-		var ok bool
-		switch mode {
-		case 0:
-			ok = t.core.StepDetailed(&t.ret)
-		default:
-			ok = t.core.StepWarm(&t.ret)
+	segment := func(n uint64, detailed bool) uint64 {
+		var got, run uint64
+		for got < n && !t.core.M.Halted() {
+			chunk := n - got
+			if chunk > uint64(len(buf)) {
+				chunk = uint64(len(buf))
+			}
+			var k int
+			if detailed {
+				k = t.core.StepDetailedBlock(buf[:chunk])
+			} else {
+				k = t.core.StepWarmBlock(buf[:chunk])
+			}
+			for i := range buf[:k] {
+				run++
+				if buf[i].Taken {
+					t.tracker.RetireOps(run)
+					t.tracker.TakenBranch(buf[i].Addr)
+					run = 0
+				}
+			}
+			got += uint64(k)
+			if uint64(k) < chunk {
+				break
+			}
 		}
-		if !ok {
-			return false
-		}
-		t.tracker.RetireOps(1)
-		if t.ret.Taken {
-			t.tracker.TakenBranch(t.ret.Addr)
-		}
-		done++
-		t.pos++
-		return true
+		t.tracker.RetireOps(run)
+		done += got
+		t.pos += got
+		return got
 	}
 
 	if sample > 0 && warm+sample <= ops {
-		for i := uint64(0); i < warm && step(0); i++ {
-		}
-		w.WarmOps = done
+		w.WarmOps = segment(warm, true)
 		start := t.core.T.Cycle()
-		before := done
-		for i := uint64(0); i < sample && step(0); i++ {
-		}
-		w.SampleOps = done - before
+		w.SampleOps = segment(sample, true)
 		cycles := t.core.T.Cycle() - start
 		if cycles > 0 && w.SampleOps > 0 {
 			w.SampleIPC = float64(w.SampleOps) / float64(cycles)
 		}
 	}
-	for done < ops && step(1) {
+	if rem := ops - done; rem > 0 {
+		segment(rem, false)
 	}
 	w.Ops = done
 	w.BBV = t.tracker.TakeVector()
