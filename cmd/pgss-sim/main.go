@@ -5,9 +5,11 @@
 //
 //	pgss-sim -bench 164.gzip -technique pgss [-ops N] [-threshold 0.05] [-period 100000] [-diag]
 //	pgss-sim -bench 181.mcf -technique smarts
+//	pgss-sim -bench 179.art -technique 2pss -channel mav
 //
 // Techniques: full, smarts, turbosmarts, simpoint, onlinesimpoint,
-// stratified, pgss, adaptive.
+// stratified, pgss, adaptive, 2pss, rss. The -channel flag selects the
+// signature channel (bbv, mav, both) for pgss, 2pss and rss.
 package main
 
 import (
@@ -22,7 +24,8 @@ import (
 func main() {
 	bench := flag.String("bench", "164.gzip", "benchmark name")
 	ops := flag.Uint64("ops", 0, "program length in ops (0 = benchmark default)")
-	technique := flag.String("technique", "pgss", "full|smarts|turbosmarts|simpoint|onlinesimpoint|stratified|pgss|adaptive")
+	technique := flag.String("technique", "pgss", "full|smarts|turbosmarts|simpoint|onlinesimpoint|stratified|pgss|adaptive|2pss|rss")
+	channel := flag.String("channel", "bbv", "signature channel: bbv|mav|both (pgss, 2pss, rss)")
 	scale := flag.Uint64("scale", 10, "parameter scale divisor")
 	threshold := flag.Float64("threshold", 0.05, "BBV threshold (fraction of π; pgss/onlinesimpoint)")
 	period := flag.Uint64("period", 0, "PGSS FF period in ops (0 = 1M/scale)")
@@ -32,6 +35,9 @@ func main() {
 	guard := flag.Bool("guard", false, "enable the transition guard (pgss)")
 	trace := flag.Int("trace", 0, "print first N sample events (pgss)")
 	flag.Parse()
+
+	ch, err := pgss.ParseChannel(*channel)
+	check(err)
 
 	spec, err := pgss.Benchmark(*bench)
 	check(err)
@@ -70,6 +76,7 @@ func main() {
 		show(res)
 	case "pgss":
 		cfg := pgss.DefaultPGSSConfig(*scale)
+		cfg.Channel = ch
 		cfg.ThresholdPi = *threshold
 		if *period != 0 {
 			cfg.FFOps = *period
@@ -98,6 +105,25 @@ func main() {
 		}
 		cfg.ThresholdPi = *threshold
 		res, err := pgss.RunStratified(prof, cfg)
+		check(err)
+		show(res)
+	case "2pss":
+		cfg := pgss.DefaultTwoPhaseConfig(*scale)
+		cfg.Channel = ch
+		cfg.ThresholdPi = *threshold
+		if *interval != 0 {
+			cfg.IntervalOps = *interval
+		}
+		res, err := pgss.RunTwoPhase(prof, cfg)
+		check(err)
+		show(res)
+	case "rss":
+		cfg := pgss.DefaultRankedSetConfig(*scale)
+		cfg.Channel = ch
+		if *interval != 0 {
+			cfg.IntervalOps = *interval
+		}
+		res, err := pgss.RunRankedSet(prof, cfg)
 		check(err)
 		show(res)
 	case "adaptive":

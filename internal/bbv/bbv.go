@@ -65,10 +65,16 @@ func (v Vector) Dot(w Vector) float64 {
 
 // Angle returns the angle in radians between v and w, both assumed
 // normalised (non-negative components ⇒ the angle lies in [0, π/2]).
-// Either vector being zero yields π/2 (maximally different), so an empty
-// sampling window never silently matches a phase.
+// Two zero vectors are identical signatures (angle 0): windows with no
+// signal — no taken branch, or no memory access on the MAV channel — must
+// group into one quiet phase rather than each opening a fresh one. Exactly
+// one vector being zero yields π/2 (maximally different), so an empty
+// sampling window never silently matches a real phase.
 func (v Vector) Angle(w Vector) float64 {
 	if v.isZero() || w.isZero() {
+		if v.isZero() && w.isZero() {
+			return 0
+		}
 		return math.Pi / 2
 	}
 	d := v.Dot(w)
@@ -150,6 +156,13 @@ type Hash struct {
 // footprints of the workloads (256 KB code regions).
 func NewHash(width int, seed int64) (*Hash, error) {
 	const lo, hi = 2, 18 // candidate range [lo, hi)
+	return newHashRange(width, seed, lo, hi)
+}
+
+// newHashRange picks `width` distinct bit positions from [lo, hi) with the
+// given seed; shared by the branch-address (BBV) and data-address (MAV)
+// hash constructors, which differ only in their candidate ranges.
+func newHashRange(width int, seed int64, lo, hi int) (*Hash, error) {
 	if width <= 0 || width > hi-lo {
 		return nil, pgsserrors.Invalidf("bbv: hash width %d outside [1,%d]", width, hi-lo)
 	}

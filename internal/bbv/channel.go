@@ -1,0 +1,92 @@
+package bbv
+
+import "pgss/internal/pgsserrors"
+
+// Channel selects which signature stream phase classification runs on: the
+// control-flow BBVs of the paper, the memory-access vectors of mav.go, or
+// both concatenated. The zero value is the paper's BBV-only channel, so
+// every pre-existing configuration keeps its historical behaviour.
+type Channel uint8
+
+const (
+	// ChannelBBV classifies on basic-block vectors alone (the paper).
+	ChannelBBV Channel = iota
+	// ChannelMAV classifies on memory-access vectors alone.
+	ChannelMAV
+	// ChannelBoth classifies on the renormalised concatenation of the two.
+	ChannelBoth
+)
+
+// String returns the canonical lower-case channel name.
+func (c Channel) String() string {
+	switch c {
+	case ChannelBBV:
+		return "bbv"
+	case ChannelMAV:
+		return "mav"
+	case ChannelBoth:
+		return "both"
+	}
+	return "invalid"
+}
+
+// Validate checks that c is one of the three defined channels.
+func (c Channel) Validate() error {
+	if c > ChannelBoth {
+		return pgsserrors.Invalidf("bbv: invalid signature channel %d", c)
+	}
+	return nil
+}
+
+// NeedsMAV reports whether the channel reads the memory-access vector.
+func (c Channel) NeedsMAV() bool { return c == ChannelMAV || c == ChannelBoth }
+
+// NeedsBBV reports whether the channel reads the basic-block vector.
+func (c Channel) NeedsBBV() bool { return c == ChannelBBV || c == ChannelBoth }
+
+// ParseChannel parses a channel name as accepted by the CLIs.
+func ParseChannel(s string) (Channel, error) {
+	switch s {
+	case "", "bbv":
+		return ChannelBBV, nil
+	case "mav":
+		return ChannelMAV, nil
+	case "both", "bbv+mav", "concat":
+		return ChannelBoth, nil
+	}
+	return 0, pgsserrors.Invalidf("bbv: unknown signature channel %q (want bbv, mav or both)", s)
+}
+
+// Signature selects or combines the two normalised per-window channel
+// vectors according to ch. For ChannelBoth the two are concatenated into
+// scratch (grown as needed) and the whole concatenation is renormalised —
+// each input is unit or zero, so a window with activity on both channels
+// weights them evenly, and a window silent on one channel (e.g. no memory
+// accesses) degrades to the other instead of vanishing. The returned
+// vector aliases bbvVec, mavVec or scratch; callers that retain it across
+// windows must clone. The second return is the (possibly grown) scratch
+// for reuse on the next call.
+func Signature(ch Channel, bbvVec, mavVec, scratch Vector) (Vector, Vector, error) {
+	switch ch {
+	case ChannelBBV:
+		return bbvVec, scratch, nil
+	case ChannelMAV:
+		if mavVec == nil {
+			return nil, scratch, pgsserrors.Invalidf("bbv: channel %s needs a memory-access vector", ch)
+		}
+		return mavVec, scratch, nil
+	case ChannelBoth:
+		if mavVec == nil {
+			return nil, scratch, pgsserrors.Invalidf("bbv: channel %s needs a memory-access vector", ch)
+		}
+		n := len(bbvVec) + len(mavVec)
+		if cap(scratch) < n {
+			scratch = make(Vector, n)
+		}
+		scratch = scratch[:n]
+		copy(scratch, bbvVec)
+		copy(scratch[len(bbvVec):], mavVec)
+		return scratch.Normalize(), scratch, nil
+	}
+	return nil, scratch, ch.Validate()
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"pgss/internal/bbv"
 	"pgss/internal/pgsserrors"
 	"pgss/internal/phase"
 	"pgss/internal/sampling"
@@ -139,6 +140,7 @@ func RunAdaptive(t sampling.Target, cfg AdaptiveConfig) (sampling.Result, Adapti
 
 	table := phase.MustNewTable(cur.ThresholdPi * math.Pi)
 	var scheduled *phase.Phase
+	var sigScratch bbv.Vector
 	windowIdx := 0
 
 	// Epoch signals.
@@ -226,7 +228,12 @@ func RunAdaptive(t sampling.Target, cfg AdaptiveConfig) (sampling.Result, Adapti
 			scheduled = nil
 		}
 
-		p, isNew, changed := table.Classify(w.BBV, w.Ops, windowIdx)
+		sig, sc, err := bbv.Signature(cur.Channel, w.BBV, w.MAV, sigScratch)
+		sigScratch = sc
+		if err != nil {
+			return res, ast, err
+		}
+		p, isNew, changed := table.Classify(sig, w.Ops, windowIdx)
 		windowIdx++
 		epochWindows++
 		if changed || isNew {

@@ -36,6 +36,10 @@ type Controller struct {
 
 	windowIdx int
 
+	// sigScratch backs concatenated-channel signatures, reused across
+	// windows (Classify clones what it keeps).
+	sigScratch bbv.Vector
+
 	// inflight is the sample scheduled by the most recent Advance; it
 	// physically sits at the start of the next window and is adopted (or
 	// dropped, at end of program) by the next Advance/Finish.
@@ -171,11 +175,15 @@ func (c *Controller) drain(p *phase.Phase) error {
 	return nil
 }
 
-// Advance consumes the next fast-forward window: its normalised BBV v, its
-// op count, and the op position at the window's end. It returns a
+// Advance consumes the next fast-forward window: its normalised BBV v and
+// (when the configured channel needs one) normalised MAV mav, its op
+// count, and the op position at the window's end. The classification
+// signature is built here from the configured channel, so the serial
+// driver and the parallel engine share one signature path — and are
+// therefore bit-identical by construction on every channel. It returns a
 // SampleRequest when a detailed sample must execute at the start of the
 // next window, or an error if a previously requested sample failed.
-func (c *Controller) Advance(v bbv.Vector, ops, posAfter uint64) (*SampleRequest, error) {
+func (c *Controller) Advance(v, mav bbv.Vector, ops, posAfter uint64) (*SampleRequest, error) {
 	// Adopt the sample scheduled by the previous window: it sat at the
 	// start of this one.
 	adopted := c.inflight
@@ -185,7 +193,12 @@ func (c *Controller) Advance(v bbv.Vector, ops, posAfter uint64) (*SampleRequest
 	// the detailed portion when the sample's measurement arrives.
 	c.res.Costs.FunctionalWarm += ops
 
-	p, _, _ := c.table.Classify(v, ops, c.windowIdx)
+	sig, scratch, err := bbv.Signature(c.cfg.Channel, v, mav, c.sigScratch)
+	c.sigScratch = scratch
+	if err != nil {
+		return nil, err
+	}
+	p, _, _ := c.table.Classify(sig, ops, c.windowIdx)
 	c.windowIdx++
 
 	if adopted != nil {

@@ -33,7 +33,7 @@ func TestControllerAsyncResolution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	req, err := ctl.Advance(ctlVec(0), cfg.FFOps, cfg.FFOps)
+	req, err := ctl.Advance(ctlVec(0), nil, cfg.FFOps, cfg.FFOps)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +46,7 @@ func TestControllerAsyncResolution(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 		req.Resolve(2.0, req.Warm, req.Sample)
 	}()
-	if _, err := ctl.Advance(ctlVec(1), cfg.FFOps, 2*cfg.FFOps); err != nil {
+	if _, err := ctl.Advance(ctlVec(1), nil, cfg.FFOps, 2*cfg.FFOps); err != nil {
 		t.Fatal(err)
 	}
 	res, st, err := ctl.Finish()
@@ -75,7 +75,7 @@ func TestControllerTrailingRequestDropped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	req, err := ctl.Advance(ctlVec(0), cfg.FFOps, cfg.FFOps)
+	req, err := ctl.Advance(ctlVec(0), nil, cfg.FFOps, cfg.FFOps)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,14 +103,14 @@ func TestControllerFailPropagates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	req, err := ctl.Advance(ctlVec(0), cfg.FFOps, cfg.FFOps)
+	req, err := ctl.Advance(ctlVec(0), nil, cfg.FFOps, cfg.FFOps)
 	if err != nil {
 		t.Fatal(err)
 	}
 	boom := errors.New("boom")
 	req.Fail(boom)
 	// The same phase recurs: its drain must surface the failure.
-	_, err = ctl.Advance(ctlVec(0), cfg.FFOps, 2*cfg.FFOps)
+	_, err = ctl.Advance(ctlVec(0), nil, cfg.FFOps, 2*cfg.FFOps)
 	if !errors.Is(err, boom) {
 		t.Fatalf("drain returned %v, want boom", err)
 	}
@@ -128,12 +128,12 @@ func TestControllerInvalidSampleChargesNothing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	req, err := ctl.Advance(ctlVec(0), cfg.FFOps, cfg.FFOps)
+	req, err := ctl.Advance(ctlVec(0), nil, cfg.FFOps, cfg.FFOps)
 	if err != nil {
 		t.Fatal(err)
 	}
 	req.Resolve(math.NaN(), 0, 0)
-	if _, err := ctl.Advance(ctlVec(0), cfg.FFOps, 2*cfg.FFOps); err != nil {
+	if _, err := ctl.Advance(ctlVec(0), nil, cfg.FFOps, 2*cfg.FFOps); err != nil {
 		t.Fatal(err)
 	}
 	res, st, err := ctl.Finish()
@@ -157,13 +157,13 @@ func TestControllerGuardDiscardsCrossPhaseSample(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	req, err := ctl.Advance(ctlVec(0), cfg.FFOps, cfg.FFOps)
+	req, err := ctl.Advance(ctlVec(0), nil, cfg.FFOps, cfg.FFOps)
 	if err != nil {
 		t.Fatal(err)
 	}
 	req.Resolve(1.5, req.Warm, req.Sample)
 	// The sample's window belongs to a different phase → guarded.
-	if _, err := ctl.Advance(ctlVec(1), cfg.FFOps, 2*cfg.FFOps); err != nil {
+	if _, err := ctl.Advance(ctlVec(1), nil, cfg.FFOps, 2*cfg.FFOps); err != nil {
 		t.Fatal(err)
 	}
 	_, st, err := ctl.Finish()

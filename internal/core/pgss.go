@@ -25,6 +25,7 @@ import (
 	"context"
 	"fmt"
 
+	"pgss/internal/bbv"
 	"pgss/internal/pgsserrors"
 	"pgss/internal/phase"
 	"pgss/internal/sampling"
@@ -49,6 +50,11 @@ type Config struct {
 	Confidence float64
 	// MinSamples is the per-phase sample floor before the bound may close.
 	MinSamples uint64
+	// Channel selects the phase-classification signature stream: the
+	// paper's BBVs (the zero value), memory-access vectors, or their
+	// renormalised concatenation. Non-BBV channels require a target that
+	// delivers MAV windows.
+	Channel bbv.Channel
 
 	// DisableSpread turns the spread rule off (ablation).
 	DisableSpread bool
@@ -94,7 +100,11 @@ func DefaultConfig(scale uint64) Config {
 }
 
 func (c Config) String() string {
-	return fmt.Sprintf("ff=%d/.%02dπ", c.FFOps, int(c.ThresholdPi*100+0.5))
+	s := fmt.Sprintf("ff=%d/.%02dπ", c.FFOps, int(c.ThresholdPi*100+0.5))
+	if c.Channel != bbv.ChannelBBV {
+		s += "/" + c.Channel.String()
+	}
+	return s
 }
 
 // Validate checks the configuration.
@@ -113,6 +123,9 @@ func (c Config) Validate() error {
 	}
 	if c.MinSamples == 0 {
 		return pgsserrors.Invalidf("pgss: zero MinSamples")
+	}
+	if err := c.Channel.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -204,7 +217,7 @@ func RunContext(ctx context.Context, t sampling.Target, cfg Config) (sampling.Re
 		if req != nil {
 			req.Resolve(w.SampleIPC, w.WarmOps, w.SampleOps)
 		}
-		req, err = ctl.Advance(w.BBV, w.Ops, t.Pos())
+		req, err = ctl.Advance(w.BBV, w.MAV, w.Ops, t.Pos())
 		if err != nil {
 			res, st := ctl.Partial()
 			return res, st, err

@@ -17,7 +17,7 @@ import (
 func CampaignTechniques() []string {
 	return []string{
 		"PGSS", "PGSS-Adaptive", "SMARTS", "TurboSMARTS",
-		"SimPoint", "OnlineSimPoint", "Stratified", "Full",
+		"SimPoint", "OnlineSimPoint", "Stratified", "2PSS", "RSS", "Full",
 	}
 }
 
@@ -72,6 +72,14 @@ func (s *Suite) CampaignRun(ctx context.Context, sp campaign.Spec) (sampling.Res
 		cfg := sampling.DefaultStratifiedConfig(scale)
 		cfg.Seed = sp.Seed
 		return sampling.Stratified(p, cfg)
+	case "2PSS":
+		cfg := sampling.DefaultTwoPhaseConfig(scale)
+		cfg.Seed = sp.Seed
+		return sampling.TwoPhase(p, cfg)
+	case "RSS":
+		cfg := sampling.DefaultRankedSetConfig(scale)
+		cfg.Seed = sp.Seed
+		return sampling.RankedSet(p, cfg)
 	case "Full":
 		return sampling.Full(sampling.NewProfileTarget(p), p.BBVOps)
 	default:

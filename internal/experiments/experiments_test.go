@@ -4,12 +4,15 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 
+	"pgss/internal/bbv"
 	"pgss/internal/pgsserrors"
 	"pgss/internal/profile"
 )
@@ -163,7 +166,7 @@ func TestRegistryAndRun(t *testing.T) {
 	if len(ids) != len(Figures) {
 		t.Errorf("ids = %v", ids)
 	}
-	if ids[0] != "fig2" || ids[len(ids)-1] != "extensions" || ids[len(ids)-4] != "ablation" {
+	if ids[0] != "fig2" || ids[len(ids)-1] != "frontier" || ids[len(ids)-5] != "ablation" {
 		t.Errorf("ordering wrong: %v", ids)
 	}
 	if _, err := Run(testSuite(t), "fig99"); err == nil {
@@ -273,6 +276,33 @@ func TestFig12HeadlineClaims(t *testing.T) {
 	if r.Metrics["err_amean_PGSS(best)"] > r.Metrics["err_amean_TurboSMARTS"] {
 		t.Errorf("PGSS(best) %.2f%% worse than TurboSMARTS %.2f%%",
 			r.Metrics["err_amean_PGSS(best)"], r.Metrics["err_amean_TurboSMARTS"])
+	}
+	checkRender(t, r)
+}
+
+func TestFrontier(t *testing.T) {
+	r, err := Frontier(testSuite(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every grid cell must report a finite non-negative mean error; the
+	// equal-budget invariant is checked inside Frontier itself (it errors
+	// out on any detailed-budget mismatch across channels).
+	for _, tech := range []string{"2PSS", "RSS"} {
+		for _, ch := range []bbv.Channel{bbv.ChannelBBV, bbv.ChannelMAV, bbv.ChannelBoth} {
+			for _, b := range frontierBenches {
+				key := fmt.Sprintf("err_%s_%s_%s", tech, ch, shortName(b))
+				e, ok := r.Metrics[key]
+				if !ok || math.IsNaN(e) || math.IsInf(e, 0) || e < 0 {
+					t.Errorf("metric %s = %v (present %v)", key, e, ok)
+				}
+			}
+		}
+	}
+	// The experiment's reason to exist: a memory channel must beat pure
+	// BBVs somewhere on the memory-phase trio.
+	if r.Metrics["mav_wins_benchmarks"] < 1 {
+		t.Errorf("mav_wins_benchmarks = %v, want >= 1", r.Metrics["mav_wins_benchmarks"])
 	}
 	checkRender(t, r)
 }

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pgss/internal/bbv"
+	"pgss/internal/profile"
+	"pgss/internal/sampling"
+	"pgss/internal/stats"
+)
+
+// frontierBenches are the memory-phase benchmarks of the frontier study:
+// the three workloads whose phase behaviour is carried by the data-access
+// stream (cache-thrashing scans, pointer chasing, sparse FP) more than by
+// the code path, so the memory-access-vector channel has signal the BBV
+// channel cannot see.
+var frontierBenches = []string{"179.art", "181.mcf", "183.equake"}
+
+// frontierChannels is the signature-channel axis of the study grid.
+var frontierChannels = []bbv.Channel{bbv.ChannelBBV, bbv.ChannelMAV, bbv.ChannelBoth}
+
+// frontierSeeds is the number of seed replicates averaged per grid cell:
+// both successor techniques are randomised estimators, so a single-seed
+// comparison would measure luck, not the channel.
+const frontierSeeds = 5
+
+// Frontier runs the accuracy-vs-cost frontier of the successor techniques
+// (2PSS, RSS) across signature channels. Within one technique the detailed
+// budget is fixed by the configuration — both estimators spend their full
+// measurement budget regardless of what the cheap signatures look like —
+// so every channel competes at *equal* detailed-op cost and the comparison
+// isolates the stratification/ranking signal alone. Errors are mean |IPC
+// error| over seed replicates; the equal-budget invariant is checked, not
+// assumed.
+func Frontier(s *Suite) (*Report, error) {
+	scale := s.Scale()
+	type tech struct {
+		name string
+		run  func(p *profile.Profile, ch bbv.Channel, seed int64) (sampling.Result, error)
+	}
+	techs := []tech{
+		{"2PSS", func(p *profile.Profile, ch bbv.Channel, seed int64) (sampling.Result, error) {
+			cfg := sampling.DefaultTwoPhaseConfig(scale)
+			cfg.Channel = ch
+			cfg.Seed = seed
+			return sampling.TwoPhase(p, cfg)
+		}},
+		{"RSS", func(p *profile.Profile, ch bbv.Channel, seed int64) (sampling.Result, error) {
+			cfg := sampling.DefaultRankedSetConfig(scale)
+			cfg.Channel = ch
+			cfg.Seed = seed
+			return sampling.RankedSet(p, cfg)
+		}},
+	}
+
+	r := NewReport("frontier",
+		fmt.Sprintf("successor-technique frontier: mean |IPC error| over %d seeds by signature channel, equal detailed budget", frontierSeeds))
+
+	header := []string{"technique", "channel"}
+	for _, b := range frontierBenches {
+		header = append(header, shortName(b))
+	}
+	et := r.AddTable("mean |IPC error| (% of benchmark IPC)", header...)
+	bt := r.AddTable("detailed simulation per run (ops, identical across channels)",
+		append([]string{"technique"}, header[2:]...)...)
+
+	// errs[technique][channel][bench] = mean |error| over the replicates.
+	mavWins := map[string]bool{}
+	for _, tc := range techs {
+		budgets := make([]string, 0, len(frontierBenches))
+		cells := map[bbv.Channel][]float64{}
+		for bi, bench := range frontierBenches {
+			p, err := s.Profile(bench)
+			if err != nil {
+				return nil, err
+			}
+			var budget uint64
+			for _, ch := range frontierChannels {
+				sample := make([]float64, frontierSeeds)
+				for seed := int64(1); seed <= frontierSeeds; seed++ {
+					res, err := tc.run(p, ch, seed)
+					if err != nil {
+						return nil, fmt.Errorf("frontier: %s/%s on %s seed %d: %w",
+							tc.name, ch, bench, seed, err)
+					}
+					sample[seed-1] = res.ErrorPct()
+					if det := res.Costs.DetailedTotal(); budget == 0 {
+						budget = det
+					} else if det != budget {
+						return nil, fmt.Errorf(
+							"frontier: %s on %s: unequal detailed budget %d vs %d across channels — comparison void",
+							tc.name, bench, det, budget)
+					}
+				}
+				mean := stats.ArithmeticMean(sample)
+				cells[ch] = append(cells[ch], mean)
+				r.Metrics[fmt.Sprintf("err_%s_%s_%s", tc.name, ch, shortName(bench))] = mean
+			}
+			budgets = append(budgets, eng(float64(budget)))
+			bbvErr := cells[bbv.ChannelBBV][bi]
+			if cells[bbv.ChannelMAV][bi] < bbvErr || cells[bbv.ChannelBoth][bi] < bbvErr {
+				mavWins[bench] = true
+			}
+		}
+		for _, ch := range frontierChannels {
+			row := []string{tc.name, ch.String()}
+			for _, e := range cells[ch] {
+				row = append(row, pct(e))
+			}
+			et.AddRow(row...)
+		}
+		bt.AddRow(append([]string{tc.name}, budgets...)...)
+	}
+
+	r.Metrics["mav_wins_benchmarks"] = float64(len(mavWins))
+	wins := make([]string, 0, len(mavWins))
+	for _, b := range frontierBenches {
+		if mavWins[b] {
+			wins = append(wins, shortName(b))
+		}
+	}
+	r.Notef("benchmarks where a memory channel (mav or bbv+mav) beats pure BBVs for at least one technique at equal detailed budget: %d/%d %v",
+		len(mavWins), len(frontierBenches), wins)
+	return r, nil
+}

@@ -27,6 +27,7 @@ var Figures = map[string]FigFunc{
 	"characteristics": Characteristics,
 	"coverage":        Coverage,
 	"extensions":      Extensions,
+	"frontier":        Frontier,
 }
 
 // FigureIDs returns the available figure IDs in numeric order, with

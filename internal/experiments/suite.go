@@ -22,8 +22,9 @@ import (
 )
 
 // schemaVersion invalidates cached profiles when the simulator or the
-// workload generator change behaviourally.
-const schemaVersion = 7
+// workload generator change behaviourally. v8: profiles carry the
+// memory-access-vector (MAV) channel.
+const schemaVersion = 8
 
 // Options configures a Suite.
 type Options struct {

@@ -138,7 +138,7 @@ func Run(ctx context.Context, src Source, cfg core.Config, opts Options) (sampli
 		if posAfter > total {
 			posAfter = total
 		}
-		req, err := ctl.Advance(wins[i].BBV, wins[i].Ops, posAfter)
+		req, err := ctl.Advance(wins[i].BBV, wins[i].MAV, wins[i].Ops, posAfter)
 		if err != nil {
 			res, st := ctl.Partial()
 			if stalled := stallCause(ctx); stalled != nil {

@@ -272,3 +272,84 @@ func TestMisalignedConfigSurfaces(t *testing.T) {
 		t.Fatalf("misaligned window error class: %v", err)
 	}
 }
+
+// TestChannelParallelMatchesSerial extends the serial/parallel bit-identity
+// guarantee to the MAV and concatenated signature channels: with the
+// profile recorded on both channels, the parallel engine must reproduce the
+// serial controller exactly under every shard layout, for every Channel.
+func TestChannelParallelMatchesSerial(t *testing.T) {
+	p := suiteProfile(t, "181.mcf", 10_000_000)
+	if !p.HasMAV() {
+		t.Fatal("suite profile recorded without a MAV channel")
+	}
+	for _, ch := range []bbv.Channel{bbv.ChannelMAV, bbv.ChannelBoth} {
+		t.Run(ch.String(), func(t *testing.T) {
+			cfg := testConfig()
+			cfg.Channel = ch
+			cfg.Trace = true
+			wantRes, wantSt, err := core.Run(sampling.NewProfileTarget(p), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantRes.Samples == 0 {
+				t.Fatal("serial run took no samples — the identity test would be vacuous")
+			}
+			for _, opts := range []Options{
+				{Shards: 1, SampleWorkers: 1},
+				{Shards: 4, SampleWorkers: 4},
+				{Shards: 3, SampleWorkers: 2},
+				{Shards: 7, SampleWorkers: 3},
+			} {
+				res, st, err := Run(context.Background(), NewProfileSource(p), cfg, opts)
+				if err != nil {
+					t.Fatalf("%+v: %v", opts, err)
+				}
+				if !reflect.DeepEqual(res, wantRes) {
+					t.Errorf("%+v: Result diverged from serial:\n got %+v\nwant %+v", opts, res, wantRes)
+				}
+				if !reflect.DeepEqual(st, wantSt) {
+					t.Errorf("%+v: Stats diverged from serial:\n got %+v\nwant %+v", opts, st, wantSt)
+				}
+			}
+		})
+	}
+}
+
+// TestLiveChannelShardInvariant: a live run on the concatenated channel —
+// MAV tracker fed from the retire stream inside each shard — returns the
+// same result whatever the shard layout. MAV accumulation has no pending
+// state, so the windows are layout-invariant by construction; this pins the
+// wiring.
+func TestLiveChannelShardInvariant(t *testing.T) {
+	src := liveSource(t, "197.parser", 600_000, 50_000)
+	src.EnableMAV(bbv.MustNewMAVHash(bbv.DefaultMAVBits, 42))
+	cfg := testConfig()
+	cfg.FFOps = 20_000
+	cfg.SpreadOps = 20_000
+	cfg.Trace = true
+	cfg.Channel = bbv.ChannelBoth
+
+	ref, refSt, err := Run(context.Background(), src, cfg, Options{Shards: 1, SampleWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Samples == 0 {
+		t.Fatal("live run took no samples — the invariance test would be vacuous")
+	}
+	for _, opts := range []Options{
+		{Shards: 4, SampleWorkers: 4},
+		{Shards: 3, SampleWorkers: 2},
+		{Shards: 7, SampleWorkers: 3},
+	} {
+		res, st, err := Run(context.Background(), src, cfg, opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if !reflect.DeepEqual(res, ref) {
+			t.Errorf("%+v: live Result diverged:\n got %+v\nwant %+v", opts, res, ref)
+		}
+		if !reflect.DeepEqual(st, refSt) {
+			t.Errorf("%+v: live Stats diverged:\n got %+v\nwant %+v", opts, st, refSt)
+		}
+	}
+}

@@ -17,6 +17,9 @@ type Window struct {
 	Ops uint64
 	// BBV is the normalised basic-block vector of the window.
 	BBV bbv.Vector
+	// MAV is the normalised memory-access vector of the window; nil when
+	// the source has no MAV channel.
+	MAV bbv.Vector
 }
 
 // Source is a benchmark execution the parallel engine can shard: window
@@ -83,6 +86,13 @@ func (s *ProfileSource) Windows(ctx context.Context, ffOps uint64, first int, ou
 				s.p.Benchmark, first+i, pos, s.p.TotalOps)
 		}
 		out[i].BBV = raw.Normalize()
+		if s.p.HasMAV() {
+			rawMAV, err := s.p.MAVWindow(pos, ffOps)
+			if err != nil {
+				return err
+			}
+			out[i].MAV = rawMAV.Normalize()
+		}
 		out[i].Ops = ffOps
 		if remaining := s.p.TotalOps - pos; remaining < ffOps {
 			out[i].Ops = remaining
@@ -122,11 +132,18 @@ func (s profileSampler) Sample(pos, warm, sample uint64) (float64, error) {
 type LiveSource struct {
 	lib     *checkpoint.Library
 	hash    *bbv.Hash
+	mavHash *bbv.Hash // nil = MAV channel off
 	newCore func() (*cpu.Core, error)
 	name    string
 	total   uint64
 	trueIPC float64
 }
+
+// EnableMAV attaches a memory-access-vector hash (from bbv.NewMAVHash):
+// subsequent Windows calls fill Window.MAV. MAV accumulation has no
+// pending state, so the vectors are shard-layout-invariant by
+// construction.
+func (s *LiveSource) EnableMAV(h *bbv.Hash) { s.mavHash = h }
 
 // NewLiveSource builds a live source over a recorded checkpoint library.
 // newCore must build a fresh core of the same program and configuration the
@@ -175,6 +192,10 @@ func (s *LiveSource) Windows(ctx context.Context, ffOps uint64, first int, out [
 		return fmt.Errorf("parallel: shard at window %d: %w", first, err)
 	}
 	tracker := bbv.NewTracker(s.hash)
+	var mavt *bbv.MAVTracker
+	if s.mavHash != nil {
+		mavt = bbv.NewMAVTracker(s.mavHash)
+	}
 	buf := c.BlockBuf()
 	pos := start
 	for i := range out {
@@ -202,6 +223,9 @@ func (s *LiveSource) Windows(ctx context.Context, ffOps uint64, first int, out [
 					tracker.TakenBranch(buf[j].Addr)
 					run = 0
 				}
+				if mavt != nil && buf[j].Op.IsMem() {
+					mavt.Access(buf[j].MemAddr)
+				}
 			}
 			done += uint64(n)
 			if uint64(n) < chunk {
@@ -219,6 +243,9 @@ func (s *LiveSource) Windows(ctx context.Context, ffOps uint64, first int, out [
 		}
 		out[i].Ops = done
 		out[i].BBV = tracker.TakeVector()
+		if mavt != nil {
+			out[i].MAV = mavt.TakeVector()
+		}
 		// Self-contained windows: ops retired since the last taken branch
 		// do not leak into the next window, whichever shard computes it.
 		tracker.DropPending()

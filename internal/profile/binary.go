@@ -16,21 +16,25 @@ import (
 // carries the scalar header as JSON (small, and schema drift degrades to a
 // readable corruption error instead of silent misdecoding); frame 2 the
 // fine-interval cycle counts as little-endian []uint32; frame 3 every raw
-// BBV flattened into one little-endian []float64 arena. On little-endian
-// hosts a loaded profile's Cycles and RawBBVs alias the read (or mmapped)
-// file bytes directly — the O(1) warm-start path campaigns use.
+// BBV flattened into one little-endian []float64 arena; frame 4 (version 2,
+// present only when the profile carries the channel) the raw MAV arena laid
+// out the same way. On little-endian hosts a loaded profile's Cycles,
+// RawBBVs and RawMAVs alias the read (or mmapped) file bytes directly — the
+// O(1) warm-start path campaigns use. Version-1 files (no MAV channel)
+// remain readable.
 const (
 	profileMagic   = "PGSSPROF"
-	profileVersion = 1
+	profileVersion = 2
 
 	tagProfileMeta   = 1
 	tagProfileCycles = 2
 	tagProfileBBVs   = 3
+	tagProfileMAVs   = 4
 )
 
 // profileMeta is the scalar part of a Profile, JSON-encoded in the meta
-// frame. BBVWidth is redundant with HashBits but lets the decoder validate
-// the arena before touching it.
+// frame. BBVWidth/MAVWidth are redundant with HashBits/MAVBits but let the
+// decoder validate the arenas before touching them.
 type profileMeta struct {
 	Benchmark   string
 	HashBits    int
@@ -40,6 +44,8 @@ type profileMeta struct {
 	TotalCycles uint64
 	TailOps     uint64
 	BBVWidth    int
+	MAVBits     int `json:",omitempty"`
+	MAVWidth    int `json:",omitempty"`
 }
 
 // encodeBinary writes the binary form of p to w.
@@ -47,6 +53,10 @@ func (p *Profile) encodeBinary(w io.Writer) error {
 	width := 0
 	if len(p.RawBBVs) > 0 {
 		width = len(p.RawBBVs[0])
+	}
+	mavWidth := 0
+	if len(p.RawMAVs) > 0 {
+		mavWidth = len(p.RawMAVs[0])
 	}
 	meta, err := json.Marshal(profileMeta{
 		Benchmark:   p.Benchmark,
@@ -57,6 +67,8 @@ func (p *Profile) encodeBinary(w io.Writer) error {
 		TotalCycles: p.TotalCycles,
 		TailOps:     p.TailOps,
 		BBVWidth:    width,
+		MAVBits:     p.MAVBits,
+		MAVWidth:    mavWidth,
 	})
 	if err != nil {
 		return err
@@ -78,24 +90,37 @@ func (p *Profile) encodeBinary(w io.Writer) error {
 	for _, v := range p.RawBBVs {
 		arena = append(arena, v...)
 	}
-	return bw.FrameF64s(tagProfileBBVs, arena)
+	if err := bw.FrameF64s(tagProfileBBVs, arena); err != nil {
+		return err
+	}
+	if mavWidth > 0 {
+		mavArena := make([]float64, 0, len(p.RawMAVs)*mavWidth)
+		for _, v := range p.RawMAVs {
+			mavArena = append(mavArena, v...)
+		}
+		if err := bw.FrameF64s(tagProfileMAVs, mavArena); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// decodeBinary rebuilds a profile from container bytes. Cycles and RawBBVs
-// alias data on little-endian hosts; treat both as immutable.
+// decodeBinary rebuilds a profile from container bytes. Cycles, RawBBVs and
+// RawMAVs alias data on little-endian hosts; treat all as immutable.
 func decodeBinary(data []byte) (*Profile, error) {
 	r, version, err := binenc.NewReader(data, profileMagic)
 	if err != nil {
 		return nil, err
 	}
-	if version != profileVersion {
-		return nil, pgsserrors.Corruptf("profile: unsupported binary version %d (want %d)", version, profileVersion)
+	if version < 1 || version > profileVersion {
+		return nil, pgsserrors.Corruptf("profile: unsupported binary version %d (want 1..%d)", version, profileVersion)
 	}
 	var (
-		meta    profileMeta
-		gotMeta bool
-		p       Profile
-		arena   []float64
+		meta     profileMeta
+		gotMeta  bool
+		p        Profile
+		arena    []float64
+		mavArena []float64
 	)
 	for {
 		tag, payload, err := r.Next()
@@ -119,6 +144,13 @@ func decodeBinary(data []byte) (*Profile, error) {
 			if arena, err = binenc.F64s(payload); err != nil {
 				return nil, err
 			}
+		case tagProfileMAVs:
+			if version < 2 {
+				return nil, pgsserrors.Corruptf("profile: MAV frame in version-%d container", version)
+			}
+			if mavArena, err = binenc.F64s(payload); err != nil {
+				return nil, err
+			}
 		default:
 			// Unknown frames from same-version writers are corruption, not
 			// forward compatibility — the version field covers that.
@@ -135,6 +167,7 @@ func decodeBinary(data []byte) (*Profile, error) {
 	p.TotalOps = meta.TotalOps
 	p.TotalCycles = meta.TotalCycles
 	p.TailOps = meta.TailOps
+	p.MAVBits = meta.MAVBits
 	width := meta.BBVWidth
 	if width <= 0 || len(arena)%width != 0 {
 		return nil, pgsserrors.Corruptf("profile: %d-float BBV arena not divisible by width %d", len(arena), width)
@@ -142,6 +175,16 @@ func decodeBinary(data []byte) (*Profile, error) {
 	p.RawBBVs = make([]bbv.Vector, 0, len(arena)/width)
 	for off := 0; off < len(arena); off += width {
 		p.RawBBVs = append(p.RawBBVs, bbv.Vector(arena[off:off+width:off+width]))
+	}
+	if len(mavArena) > 0 || meta.MAVWidth > 0 {
+		mw := meta.MAVWidth
+		if mw <= 0 || len(mavArena)%mw != 0 {
+			return nil, pgsserrors.Corruptf("profile: %d-float MAV arena not divisible by width %d", len(mavArena), mw)
+		}
+		p.RawMAVs = make([]bbv.Vector, 0, len(mavArena)/mw)
+		for off := 0; off < len(mavArena); off += mw {
+			p.RawMAVs = append(p.RawMAVs, bbv.Vector(mavArena[off:off+mw:off+mw]))
+		}
 	}
 	return &p, nil
 }

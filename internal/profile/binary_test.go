@@ -10,6 +10,7 @@ import (
 	"reflect"
 	"testing"
 
+	"pgss/internal/bbv"
 	"pgss/internal/binenc"
 	"pgss/internal/faultinject"
 	"pgss/internal/pgsserrors"
@@ -131,5 +132,87 @@ func TestLoadThroughInjectedFS(t *testing.T) {
 	}
 	if !reflect.DeepEqual(stripPrefix(got), stripPrefix(p)) {
 		t.Fatal("MemFS round-trip changed the profile")
+	}
+}
+
+// stripPrefixMAV is stripPrefix plus the version-2 MAV channel fields.
+func stripPrefixMAV(p *Profile) *Profile {
+	s := stripPrefix(p)
+	s.MAVBits = p.MAVBits
+	s.RawMAVs = p.RawMAVs
+	return s
+}
+
+// TestBinaryRoundTripMAV: a two-channel profile survives the version-2
+// container bit-exactly, MAV arena included, and still passes integrity.
+func TestBinaryRoundTripMAV(t *testing.T) {
+	prog := computeProgram(t, 3000)
+	p := record(t, prog, Config{FineOps: 1000, BBVOps: 5000, MAVBits: bbv.DefaultMAVBits, MAVSeed: DefaultMAVSeed})
+	if !p.HasMAV() {
+		t.Fatal("recorded profile has no MAV channel")
+	}
+	path := filepath.Join(t.TempDir(), "p.bin")
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripPrefixMAV(got), stripPrefixMAV(p)) {
+		t.Fatal("binary round-trip changed the two-channel profile")
+	}
+	if err := got.CheckIntegrity(); err != nil {
+		t.Fatalf("loaded two-channel profile fails integrity: %v", err)
+	}
+}
+
+// TestLoadVersion1Compat: a MAV-less container relabelled version 1 — the
+// exact byte layout version-1 writers produced — still loads.
+func TestLoadVersion1Compat(t *testing.T) {
+	prog := computeProgram(t, 3000)
+	p := record(t, prog, Config{FineOps: 1000, BBVOps: 5000})
+	if p.HasMAV() {
+		t.Fatal("MAV-less config produced a MAV channel")
+	}
+	var buf bytes.Buffer
+	if err := p.encodeBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[8] = 1 // header version byte; frame CRCs don't cover it
+	path := filepath.Join(t.TempDir(), "v1.bin")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("version-1 profile failed to load: %v", err)
+	}
+	if !reflect.DeepEqual(stripPrefix(got), stripPrefix(p)) {
+		t.Fatal("version-1 load changed the profile")
+	}
+	if got.HasMAV() {
+		t.Fatal("version-1 profile grew a MAV channel")
+	}
+}
+
+// TestLoadVersion1RejectsMAVFrame: a MAV arena frame inside a container
+// claiming version 1 is corruption, not forward compatibility.
+func TestLoadVersion1RejectsMAVFrame(t *testing.T) {
+	prog := computeProgram(t, 3000)
+	p := record(t, prog, Config{FineOps: 1000, BBVOps: 5000, MAVBits: bbv.DefaultMAVBits, MAVSeed: DefaultMAVSeed})
+	var buf bytes.Buffer
+	if err := p.encodeBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[8] = 1
+	path := filepath.Join(t.TempDir(), "bad.bin")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, pgsserrors.ErrCacheCorrupt) {
+		t.Fatalf("MAV frame in v1 container: err = %v, want ErrCacheCorrupt", err)
 	}
 }

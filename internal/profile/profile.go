@@ -35,12 +35,24 @@ type Config struct {
 	BBVOps uint64
 	// MaxOps optionally truncates recording (0 = run to completion).
 	MaxOps uint64
+	// MAVBits enables the memory-access-vector channel: when > 0, a MAV of
+	// width 1<<MAVBits is recorded per BBV interval from the data addresses
+	// of retired loads and stores (0 = channel off).
+	MAVBits int
+	// MAVSeed fixes the MAV hash bit selection.
+	MAVSeed int64
 }
 
 // DefaultConfig matches the scaled evaluation setup: 1k-op cycle
-// resolution (the SMARTS sample unit) and 10k-op BBV resolution (the
-// finest PGSS fast-forward period).
-func DefaultConfig() Config { return Config{FineOps: 1000, BBVOps: 10000} }
+// resolution (the SMARTS sample unit), 10k-op BBV resolution (the finest
+// PGSS fast-forward period), and the MAV channel on at the default width.
+func DefaultConfig() Config {
+	return Config{FineOps: 1000, BBVOps: 10000, MAVBits: bbv.DefaultMAVBits, MAVSeed: DefaultMAVSeed}
+}
+
+// DefaultMAVSeed is the suite-wide MAV hash seed, fixed like the BBV hash
+// seed so every recorded profile and live tracker agree on bucket indices.
+const DefaultMAVSeed = 42
 
 // Validate checks the configuration.
 func (c Config) Validate() error {
@@ -49,6 +61,9 @@ func (c Config) Validate() error {
 	}
 	if c.BBVOps%c.FineOps != 0 {
 		return pgsserrors.Invalidf("profile: BBVOps %d not a multiple of FineOps %d", c.BBVOps, c.FineOps)
+	}
+	if c.MAVBits < 0 {
+		return pgsserrors.Invalidf("profile: negative MAVBits %d", c.MAVBits)
 	}
 	return nil
 }
@@ -71,6 +86,12 @@ type Profile struct {
 
 	// RawBBVs[j] is the unnormalised BBV of BBV interval j.
 	RawBBVs []bbv.Vector
+
+	// MAVBits and RawMAVs carry the optional memory-access-vector channel:
+	// RawMAVs[j] counts the memory accesses of BBV interval j per hashed
+	// line group (empty when the profile was recorded without the channel).
+	MAVBits int
+	RawMAVs []bbv.Vector
 
 	// prefix[i] = sum of Cycles[0:i]; built lazily, at most once
 	// (prefixOnce makes concurrent window reads safe — the parallel
@@ -111,6 +132,7 @@ func RecordContext(ctx context.Context, core *cpu.Core, hash *bbv.Hash, cfg Conf
 		HashBits:  hash.Width(),
 		FineOps:   cfg.FineOps,
 		BBVOps:    cfg.BBVOps,
+		MAVBits:   cfg.MAVBits,
 	}
 	width := hash.Buckets()
 	var arena []float64
@@ -119,6 +141,20 @@ func RecordContext(ctx context.Context, core *cpu.Core, hash *bbv.Hash, cfg Conf
 		arena = make([]float64, 0, (cfg.MaxOps/cfg.BBVOps+1)*uint64(width))
 	}
 	tracker := bbv.NewTracker(hash)
+	var (
+		mavt     *bbv.MAVTracker
+		mavArena []float64
+	)
+	if cfg.MAVBits > 0 {
+		mavHash, err := bbv.NewMAVHash(cfg.MAVBits, cfg.MAVSeed)
+		if err != nil {
+			return nil, err
+		}
+		mavt = bbv.NewMAVTracker(mavHash)
+		if cfg.MaxOps > 0 {
+			mavArena = make([]float64, 0, (cfg.MaxOps/cfg.BBVOps+1)*uint64(mavHash.Buckets()))
+		}
+	}
 	buf := core.BlockBuf()
 	var ops, run uint64
 	nextCtx := uint64(ctxCheckOps)
@@ -141,6 +177,9 @@ func RecordContext(ctx context.Context, core *cpu.Core, hash *bbv.Hash, cfg Conf
 				tracker.TakenBranch(buf[i].Addr)
 				run = 0
 			}
+			if mavt != nil && buf[i].Op.IsMem() {
+				mavt.Access(buf[i].MemAddr)
+			}
 		}
 		ops += uint64(n)
 		if ops%cfg.FineOps == 0 && n > 0 {
@@ -151,6 +190,9 @@ func RecordContext(ctx context.Context, core *cpu.Core, hash *bbv.Hash, cfg Conf
 				tracker.RetireOps(run)
 				run = 0
 				arena = tracker.AppendRaw(arena)
+				if mavt != nil {
+					mavArena = mavt.AppendRaw(mavArena)
+				}
 			}
 		}
 		if cfg.MaxOps > 0 && ops >= cfg.MaxOps {
@@ -176,10 +218,20 @@ func RecordContext(ctx context.Context, core *cpu.Core, hash *bbv.Hash, cfg Conf
 	}
 	if ops%cfg.BBVOps != 0 {
 		arena = tracker.AppendRaw(arena)
+		if mavt != nil {
+			mavArena = mavt.AppendRaw(mavArena)
+		}
 	}
 	p.RawBBVs = make([]bbv.Vector, 0, len(arena)/width)
 	for off := 0; off < len(arena); off += width {
 		p.RawBBVs = append(p.RawBBVs, bbv.Vector(arena[off:off+width:off+width]))
+	}
+	if mavt != nil {
+		mwidth := mavt.Hash().Buckets()
+		p.RawMAVs = make([]bbv.Vector, 0, len(mavArena)/mwidth)
+		for off := 0; off < len(mavArena); off += mwidth {
+			p.RawMAVs = append(p.RawMAVs, bbv.Vector(mavArena[off:off+mwidth:off+mwidth]))
+		}
 	}
 	p.TotalOps = ops
 	p.TotalCycles = core.T.Cycle()
@@ -337,6 +389,111 @@ func (p *Profile) BBVSeries(gran uint64) ([]bbv.Vector, error) {
 	return out, nil
 }
 
+// HasMAV reports whether the profile carries the memory-access-vector
+// channel.
+func (p *Profile) HasMAV() bool { return len(p.RawMAVs) > 0 }
+
+// MAVWindowInto is BBVWindowInto for the memory-access-vector channel: the
+// raw MAV of the window starting at op position start (a multiple of
+// BBVOps) spanning ops (a multiple of BBVOps) is summed into dst, a buffer
+// of length 1<<MAVBits. It reports ok=false past the end of the program.
+// Profiles recorded without the channel return an ErrInvalidConfig-classed
+// error.
+func (p *Profile) MAVWindowInto(dst bbv.Vector, start, ops uint64) (bool, error) {
+	if !p.HasMAV() {
+		return false, pgsserrors.Invalidf("profile %q: recorded without the MAV channel", p.Benchmark)
+	}
+	if start%p.BBVOps != 0 || ops%p.BBVOps != 0 {
+		return false, pgsserrors.Misalignedf(
+			"profile: MAV window start=%d ops=%d not multiples of BBV granularity %d", start, ops, p.BBVOps)
+	}
+	j0 := int(start / p.BBVOps)
+	n := int(ops / p.BBVOps)
+	if j0 >= len(p.RawMAVs) {
+		return false, nil
+	}
+	j1 := j0 + n
+	if j1 > len(p.RawMAVs) {
+		j1 = len(p.RawMAVs)
+	}
+	copy(dst, p.RawMAVs[j0])
+	for j := j0 + 1; j < j1; j++ {
+		dst.Add(p.RawMAVs[j])
+	}
+	return true, nil
+}
+
+// MAVWindow is MAVWindowInto into a fresh vector; a window past the end of
+// the program returns (nil, nil).
+func (p *Profile) MAVWindow(start, ops uint64) (bbv.Vector, error) {
+	if !p.HasMAV() {
+		return nil, pgsserrors.Invalidf("profile %q: recorded without the MAV channel", p.Benchmark)
+	}
+	dst := make(bbv.Vector, len(p.RawMAVs[0]))
+	ok, err := p.MAVWindowInto(dst, start, ops)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	return dst, nil
+}
+
+// SignatureWindow returns the normalised phase signature of the given
+// window on the requested channel (freshly allocated; see bbv.Signature
+// for the concatenation semantics). A window past the end of the program
+// returns (nil, nil).
+func (p *Profile) SignatureWindow(ch bbv.Channel, start, ops uint64) (bbv.Vector, error) {
+	var bvec, mvec bbv.Vector
+	if ch.NeedsBBV() {
+		raw, err := p.BBVWindow(start, ops)
+		if err != nil {
+			return nil, err
+		}
+		if raw == nil {
+			return nil, nil
+		}
+		bvec = raw.Normalize()
+	}
+	if ch.NeedsMAV() {
+		raw, err := p.MAVWindow(start, ops)
+		if err != nil {
+			return nil, err
+		}
+		if raw == nil {
+			return nil, nil
+		}
+		mvec = raw.Normalize()
+	}
+	sig, _, err := bbv.Signature(ch, bvec, mvec, nil)
+	if err != nil {
+		return nil, err
+	}
+	return sig, nil
+}
+
+// SignatureSeries returns normalised channel signatures of consecutive
+// windows at the given op granularity (a multiple of BBVOps).
+func (p *Profile) SignatureSeries(ch bbv.Channel, gran uint64) ([]bbv.Vector, error) {
+	if gran == 0 || gran%p.BBVOps != 0 {
+		return nil, pgsserrors.Misalignedf(
+			"profile: granularity %d not a multiple of BBV granularity %d", gran, p.BBVOps)
+	}
+	var out []bbv.Vector
+	for start := uint64(0); start < p.TotalOps; start += gran {
+		v, err := p.SignatureWindow(ch, start, gran)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			break
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 // NumFullWindows returns how many complete windows of the given
 // granularity the run contains; the trailing partial window (if any) is
 // excluded. Statistical analyses over equal-size intervals use this to
@@ -389,6 +546,22 @@ func (p *Profile) CheckIntegrity() error {
 	if uint64(len(p.RawBBVs)) != wantBBV {
 		return pgsserrors.Corruptf("profile %q: %d BBV intervals, want %d for %d ops",
 			p.Benchmark, len(p.RawBBVs), wantBBV, p.TotalOps)
+	}
+	if p.MAVBits != 0 || len(p.RawMAVs) != 0 {
+		if p.MAVBits <= 0 {
+			return pgsserrors.Corruptf("profile %q: %d MAV intervals but MAVBits %d",
+				p.Benchmark, len(p.RawMAVs), p.MAVBits)
+		}
+		if uint64(len(p.RawMAVs)) != wantBBV {
+			return pgsserrors.Corruptf("profile %q: %d MAV intervals, want %d for %d ops",
+				p.Benchmark, len(p.RawMAVs), wantBBV, p.TotalOps)
+		}
+		for _, v := range p.RawMAVs {
+			if len(v) != 1<<p.MAVBits {
+				return pgsserrors.Corruptf("profile %q: %d-wide MAV, want %d",
+					p.Benchmark, len(v), 1<<p.MAVBits)
+			}
+		}
 	}
 	var cycles uint64
 	for _, c := range p.Cycles {

@@ -9,6 +9,8 @@ import (
 	"testing"
 	"testing/quick"
 
+	"reflect"
+
 	"pgss/internal/bbv"
 	"pgss/internal/cpu"
 	"pgss/internal/isa"
@@ -25,6 +27,30 @@ func computeProgram(t *testing.T, iters int64) *program.Program {
 	for i := 0; i < 10; i++ {
 		b.OpI(isa.ADDI, isa.Reg(8+i%4), isa.Zero, int64(i))
 	}
+	b.OpI(isa.ADDI, isa.S0, isa.S0, -1)
+	b.Branch(isa.BNE, isa.S0, isa.Zero, "loop")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// memProgram is computeProgram with a load and a store in the loop body, so
+// the MAV channel has accesses to count.
+func memProgram(t *testing.T, iters int64) *program.Program {
+	t.Helper()
+	b := program.NewBuilder("prof_mem_test")
+	b.AllocData(64)
+	b.LoadImm(isa.S0, iters)
+	b.LoadImm(isa.S1, int64(program.DataAddr(0)))
+	b.Label("loop")
+	for i := 0; i < 8; i++ {
+		b.OpI(isa.ADDI, isa.Reg(8+i%4), isa.Zero, int64(i))
+	}
+	b.Load(isa.T0, isa.S1, 0)
+	b.Store(isa.T0, isa.S1, 8)
 	b.OpI(isa.ADDI, isa.S0, isa.S0, -1)
 	b.Branch(isa.BNE, isa.S0, isa.Zero, "loop")
 	b.Halt()
@@ -330,5 +356,72 @@ func TestRecordContextCancelled(t *testing.T) {
 	}
 	if !errors.Is(err, context.Canceled) {
 		t.Errorf("cancelled recording does not wrap context.Canceled: %v", err)
+	}
+}
+
+// TestMAVWindowAggregation: MAV windows are sums of the recorded per-period
+// raw vectors (mirroring TestBBVWindowAggregation), misaligned requests
+// fail, and requests past the end return nil.
+func TestMAVWindowAggregation(t *testing.T) {
+	prog := memProgram(t, 3000)
+	p := record(t, prog, Config{FineOps: 1000, BBVOps: 5000, MAVBits: bbv.DefaultMAVBits, MAVSeed: DefaultMAVSeed})
+	if !p.HasMAV() {
+		t.Fatal("no MAV channel recorded")
+	}
+	two, err := p.MAVWindow(0, 2*p.BBVOps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.RawMAVs[0].Clone()
+	want.Add(p.RawMAVs[1])
+	if !reflect.DeepEqual(two, want) {
+		t.Fatalf("2-period MAV window %v != sum of raw %v", two, want)
+	}
+	if _, err := p.MAVWindow(1, p.BBVOps); err == nil {
+		t.Error("misaligned MAV window accepted")
+	}
+	past, err := p.MAVWindow(uint64(len(p.RawMAVs)+10)*p.BBVOps, p.BBVOps)
+	if err != nil || past != nil {
+		t.Errorf("past-end MAV window: %v, %v; want nil, nil", past, err)
+	}
+
+	// A MAV-less profile must reject the channel outright.
+	bare := record(t, prog, Config{FineOps: 1000, BBVOps: 5000})
+	if _, err := bare.MAVWindow(0, bare.BBVOps); err == nil {
+		t.Error("MAV window on a MAV-less profile accepted")
+	}
+}
+
+// TestSignatureWindowChannels: per-channel signatures are unit vectors of
+// the right width, and the concatenated signature stacks BBV then MAV.
+func TestSignatureWindowChannels(t *testing.T) {
+	prog := memProgram(t, 3000)
+	p := record(t, prog, Config{FineOps: 1000, BBVOps: 5000, MAVBits: bbv.DefaultMAVBits, MAVSeed: DefaultMAVSeed})
+	widths := map[bbv.Channel]int{
+		bbv.ChannelBBV:  1 << p.HashBits,
+		bbv.ChannelMAV:  1 << p.MAVBits,
+		bbv.ChannelBoth: 1<<p.HashBits + 1<<p.MAVBits,
+	}
+	for ch, width := range widths {
+		sig, err := p.SignatureWindow(ch, 0, p.BBVOps)
+		if err != nil {
+			t.Fatalf("%v: %v", ch, err)
+		}
+		if len(sig) != width {
+			t.Errorf("%v: signature width %d, want %d", ch, len(sig), width)
+		}
+		if n := sig.Norm(); math.Abs(n-1) > 1e-9 {
+			t.Errorf("%v: signature norm %g", ch, n)
+		}
+		series, err := p.SignatureSeries(ch, p.BBVOps)
+		if err != nil {
+			t.Fatalf("%v series: %v", ch, err)
+		}
+		if len(series) != len(p.RawBBVs) {
+			t.Errorf("%v: series length %d, want %d", ch, len(series), len(p.RawBBVs))
+		}
+	}
+	if _, err := p.SignatureWindow(bbv.Channel(9), 0, p.BBVOps); err == nil {
+		t.Error("invalid channel accepted")
 	}
 }

@@ -85,6 +85,10 @@ type Window struct {
 	Ops uint64
 	// BBV is the normalised basic-block vector over the whole window.
 	BBV bbv.Vector
+	// MAV is the normalised memory-access vector over the whole window;
+	// nil when the target has no MAV channel. Controllers configured for a
+	// BBV-only channel ignore it.
+	MAV bbv.Vector
 	// SampleIPC is the IPC measured over the detailed sample at the start
 	// of the window; NaN when no sample was requested or it did not fit.
 	SampleIPC float64
@@ -124,14 +128,16 @@ type Target interface {
 // multiples of its fine granularity; a misaligned request ends the window
 // stream and surfaces through Err.
 //
-// The returned Window's BBV is a scratch buffer owned by the target, valid
-// only until the next NextWindow call.
+// The returned Window's BBV and MAV are scratch buffers owned by the
+// target, valid only until the next NextWindow call.
 type ProfileTarget struct {
 	p   *profile.Profile
 	pos uint64
 	err error
-	// scratch backs the returned Window.BBV, reused across windows.
-	scratch bbv.Vector
+	// scratch/mavScratch back the returned Window's BBV/MAV, reused across
+	// windows.
+	scratch    bbv.Vector
+	mavScratch bbv.Vector
 }
 
 // NewProfileTarget wraps p.
@@ -196,6 +202,16 @@ func (t *ProfileTarget) NextWindow(ops, warm, sample uint64) (Window, bool) {
 		return Window{}, false
 	}
 	w.BBV = t.scratch.Normalize()
+	if t.p.HasMAV() {
+		if t.mavScratch == nil {
+			t.mavScratch = make(bbv.Vector, 1<<t.p.MAVBits)
+		}
+		if ok, err := t.p.MAVWindowInto(t.mavScratch, t.pos, ops); err != nil {
+			return t.fail(err)
+		} else if ok {
+			w.MAV = t.mavScratch.Normalize()
+		}
+	}
 	remaining := t.p.TotalOps - t.pos
 	w.Ops = ops
 	if remaining < ops {
@@ -222,7 +238,8 @@ func (t *ProfileTarget) NextWindow(ops, warm, sample uint64) (Window, bool) {
 type LiveTarget struct {
 	core    *cpu.Core
 	tracker *bbv.Tracker
-	total   uint64 // declared length; 0 = run to halt (TotalOps unknown)
+	mav     *bbv.MAVTracker // nil = MAV channel off
+	total   uint64          // declared length; 0 = run to halt (TotalOps unknown)
 	trueIPC float64
 	pos     uint64
 }
@@ -237,6 +254,11 @@ func NewLiveTarget(core *cpu.Core, hash *bbv.Hash, totalOps uint64, trueIPC floa
 		trueIPC: trueIPC,
 	}
 }
+
+// EnableMAV attaches a memory-access-vector tracker over the given hash
+// (from bbv.NewMAVHash), so subsequent windows carry a MAV alongside the
+// BBV.
+func (t *LiveTarget) EnableMAV(h *bbv.Hash) { t.mav = bbv.NewMAVTracker(h) }
 
 // Benchmark implements Target.
 func (t *LiveTarget) Benchmark() string { return t.core.M.Program().Name }
@@ -290,6 +312,9 @@ func (t *LiveTarget) NextWindow(ops, warm, sample uint64) (Window, bool) {
 					t.tracker.TakenBranch(buf[i].Addr)
 					run = 0
 				}
+				if t.mav != nil && buf[i].Op.IsMem() {
+					t.mav.Access(buf[i].MemAddr)
+				}
 			}
 			got += uint64(k)
 			if uint64(k) < chunk {
@@ -316,6 +341,9 @@ func (t *LiveTarget) NextWindow(ops, warm, sample uint64) (Window, bool) {
 	}
 	w.Ops = done
 	w.BBV = t.tracker.TakeVector()
+	if t.mav != nil {
+		w.MAV = t.mav.TakeVector()
+	}
 	if done == 0 {
 		return Window{}, false
 	}

@@ -1,0 +1,184 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// syntheticPopulation builds a deterministic 3-stratum population with
+// well-separated stratum means and in-stratum jitter; returns the values
+// and their exact mean. Units are grouped in blocks of 10 per stratum so
+// the stratum structure is recoverable by synthStratum.
+func syntheticPopulation(n int) ([]float64, float64) {
+	bases := [3]float64{1.0, 2.5, 6.0}
+	vals := make([]float64, n)
+	var sum float64
+	for i := range vals {
+		v := bases[(i/10)%3] + 0.3*math.Sin(float64(i)*0.7)
+		vals[i] = v
+		sum += v
+	}
+	return vals, sum / float64(n)
+}
+
+func synthStratum(i int) int { return (i / 10) % 3 }
+
+// TestTwoPhaseEstimateUnbiased Monte-Carlos the double-sampling estimator
+// over the synthetic population: the mean of the estimates across many
+// seeded replications must sit within a few standard errors of the known
+// population mean — the textbook unbiasedness property of two-phase
+// stratified sampling (phase-1 proportions are unbiased stratum weights).
+func TestTwoPhaseEstimateUnbiased(t *testing.T) {
+	const reps = 2000
+	cases := []struct {
+		name      string
+		n, n1, b  int
+		stratumOf func(int) int
+	}{
+		{"half-phase1", 120, 60, 24, synthStratum},
+		{"full-phase1", 120, 120, 18, synthStratum},
+		{"small-phase1", 120, 30, 12, synthStratum},
+		{"single-stratum", 120, 60, 24, func(int) int { return 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			vals, mean := syntheticPopulation(tc.n)
+			var sum, sumSq float64
+			for rep := 0; rep < reps; rep++ {
+				rng := rand.New(rand.NewSource(int64(rep) + 1))
+				est, measured := TwoPhaseEstimate(rng, tc.n, tc.n1, tc.b,
+					tc.stratumOf, func(i int) float64 { return vals[i] })
+				if measured != tc.b {
+					t.Fatalf("rep %d: measured %d of budget %d", rep, measured, tc.b)
+				}
+				sum += est
+				sumSq += est * est
+			}
+			avg := sum / reps
+			sd := math.Sqrt((sumSq - sum*sum/reps) / (reps - 1))
+			se := sd / math.Sqrt(reps)
+			if d := math.Abs(avg - mean); d > 4*se+1e-9 {
+				t.Errorf("estimator biased: avg %.5f vs mean %.5f (|Δ|=%.5f > 4·SE=%.5f)",
+					avg, mean, d, 4*se)
+			}
+		})
+	}
+}
+
+// TestTwoPhaseEstimateDeterministic: same seed, same estimate.
+func TestTwoPhaseEstimateDeterministic(t *testing.T) {
+	vals, _ := syntheticPopulation(90)
+	run := func() (float64, int) {
+		rng := rand.New(rand.NewSource(7))
+		return TwoPhaseEstimate(rng, 90, 45, 15, synthStratum,
+			func(i int) float64 { return vals[i] })
+	}
+	e1, m1 := run()
+	e2, m2 := run()
+	if e1 != e2 || m1 != m2 {
+		t.Fatalf("nondeterministic: (%v,%d) vs (%v,%d)", e1, m1, e2, m2)
+	}
+}
+
+// TestRankedSetEstimateUnbiased: RSS is unbiased under any judgment
+// ranking — perfect, noisy, or outright garbage — because each cycle's
+// order statistics come from fresh independent sets.
+func TestRankedSetEstimateUnbiased(t *testing.T) {
+	const reps = 2000
+	vals, mean := syntheticPopulation(100)
+	rankings := []struct {
+		name string
+		key  func(int) float64
+	}{
+		{"perfect", func(i int) float64 { return vals[i] }},
+		{"noisy", func(i int) float64 { return vals[i] + math.Sin(float64(i)*1.3) }},
+		{"garbage", func(i int) float64 { return float64(i % 7) }},
+	}
+	for _, rk := range rankings {
+		t.Run(rk.name, func(t *testing.T) {
+			var sum, sumSq float64
+			for rep := 0; rep < reps; rep++ {
+				rng := rand.New(rand.NewSource(int64(rep) + 1))
+				est, _, measured := RankedSetEstimate(rng, 100, 4, 6, rk.key,
+					func(i int) float64 { return vals[i] })
+				if want := 4 * 6; measured != want {
+					t.Fatalf("rep %d: measured %d, want %d", rep, measured, want)
+				}
+				sum += est
+				sumSq += est * est
+			}
+			avg := sum / reps
+			sd := math.Sqrt((sumSq - sum*sum/reps) / (reps - 1))
+			se := sd / math.Sqrt(reps)
+			if d := math.Abs(avg - mean); d > 4*se+1e-9 {
+				t.Errorf("RSS[%s] biased: avg %.5f vs mean %.5f (|Δ|=%.5f > 4·SE=%.5f)",
+					rk.name, avg, mean, d, 4*se)
+			}
+		})
+	}
+}
+
+// TestRankedSetVarianceShrink verifies the repeated-subsampling variance
+// machinery: (a) the reported variance estimate is calibrated against the
+// empirical variance of the estimates, and (b) quadrupling the cycle count
+// shrinks the empirical variance by ≈4× (the 1/c decay).
+func TestRankedSetVarianceShrink(t *testing.T) {
+	const reps = 1500
+	vals, _ := syntheticPopulation(100)
+	run := func(cycles int) (empVar, meanVarEst float64) {
+		var sum, sumSq, varSum float64
+		for rep := 0; rep < reps; rep++ {
+			rng := rand.New(rand.NewSource(int64(rep) + 1))
+			est, v, _ := RankedSetEstimate(rng, 100, 4, cycles,
+				func(i int) float64 { return vals[i] },
+				func(i int) float64 { return vals[i] })
+			sum += est
+			sumSq += est * est
+			varSum += v
+		}
+		empVar = (sumSq - sum*sum/reps) / (reps - 1)
+		meanVarEst = varSum / reps
+		return empVar, meanVarEst
+	}
+	emp6, varEst6 := run(6)
+	emp24, varEst24 := run(24)
+
+	if ratio := varEst6 / emp6; ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("variance estimate miscalibrated at c=6: reported %.3g vs empirical %.3g (ratio %.2f)",
+			varEst6, emp6, ratio)
+	}
+	if ratio := varEst24 / emp24; ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("variance estimate miscalibrated at c=24: reported %.3g vs empirical %.3g (ratio %.2f)",
+			varEst24, emp24, ratio)
+	}
+	// 4× the cycles ⇒ ≈¼ the variance; allow [1/8, 1/2].
+	if ratio := emp24 / emp6; ratio < 0.125 || ratio > 0.5 {
+		t.Errorf("variance did not shrink as 1/c: var(c=24)/var(c=6) = %.3f, want ≈0.25", ratio)
+	}
+}
+
+// TestRankedSetRankingReducesVariance: an informative ranking should beat
+// a garbage one — this is the point of RSS, and a regression here means
+// the rank-r selection is wired wrong (e.g. always measuring the same
+// order statistic).
+func TestRankedSetRankingReducesVariance(t *testing.T) {
+	const reps = 1500
+	vals, _ := syntheticPopulation(100)
+	variance := func(key func(int) float64) float64 {
+		var sum, sumSq float64
+		for rep := 0; rep < reps; rep++ {
+			rng := rand.New(rand.NewSource(int64(rep) + 1))
+			est, _, _ := RankedSetEstimate(rng, 100, 4, 6, key,
+				func(i int) float64 { return vals[i] })
+			sum += est
+			sumSq += est * est
+		}
+		return (sumSq - sum*sum/reps) / (reps - 1)
+	}
+	perfect := variance(func(i int) float64 { return vals[i] })
+	garbage := variance(func(i int) float64 { return float64(i % 7) })
+	if perfect >= garbage {
+		t.Errorf("perfect ranking variance %.3g not below garbage ranking %.3g", perfect, garbage)
+	}
+}

@@ -24,12 +24,15 @@ import (
 	"fmt"
 	"math/rand"
 
+	"pgss/internal/bbv"
 	"pgss/internal/core"
+	"pgss/internal/sampling"
 	"pgss/internal/workload"
 )
 
-// Case is one generated validation case: a synthetic workload and the PGSS
-// configuration to validate on it. Cases are pure functions of their seed.
+// Case is one generated validation case: a synthetic workload and the
+// technique configuration to validate on it. Cases are pure functions of
+// their seed.
 type Case struct {
 	// Seed reproduces the case (workload layout, schedule and config).
 	Seed int64
@@ -37,9 +40,22 @@ type Case struct {
 	Spec *workload.Spec
 	// TotalOps is the build length.
 	TotalOps uint64
-	// Config is the generated PGSS configuration. Trace is always on so
-	// invariant checks can inspect the sample stream.
+	// Technique selects which estimator the case validates: "PGSS" (the
+	// full differential battery across engines), "2PSS" or "RSS" (the
+	// replay-estimator invariants).
+	Technique string
+	// Channel is the signature channel the case runs on.
+	Channel bbv.Channel
+	// Config is the generated PGSS configuration, used when Technique is
+	// "PGSS". Trace is always on so invariant checks can inspect the
+	// sample stream.
 	Config core.Config
+	// TwoPhase is the generated 2PSS configuration, used when Technique is
+	// "2PSS".
+	TwoPhase sampling.TwoPhaseConfig
+	// RankedSet is the generated RSS configuration, used when Technique is
+	// "RSS".
+	RankedSet sampling.RankedSetConfig
 }
 
 // Recording granularities the generator must respect: profiles are
@@ -162,7 +178,57 @@ func genConfig(rng *rand.Rand) core.Config {
 	return cfg
 }
 
-// GenCase deterministically generates the validation case for a seed.
+// genIntervalOps draws a stratification granularity that leaves at least
+// 12 full intervals in the program: tiny interval populations make either
+// estimator variance-dominated (a 6-interval program sampled 3 times can
+// legitimately miss half its strata), which trips the wild-divergence bound
+// without indicating a bug.
+func genIntervalOps(rng *rand.Rand, total uint64) uint64 {
+	maxMult := int(total / (12 * bbvGran))
+	if maxMult > 6 {
+		maxMult = 6
+	}
+	mult := 2
+	if maxMult > 2 {
+		mult = 2 + rng.Intn(maxMult-1)
+	}
+	return uint64(mult) * bbvGran
+}
+
+// genTwoPhase draws a valid 2PSS configuration aligned to the recording
+// granularities. Budgets stay generous relative to the 300k–800k-op cases
+// so the aggregate error bound is meaningful, not variance-dominated.
+func genTwoPhase(rng *rand.Rand, ch bbv.Channel, total uint64) sampling.TwoPhaseConfig {
+	return sampling.TwoPhaseConfig{
+		IntervalOps: genIntervalOps(rng, total),
+		ThresholdPi: 0.02 + 0.28*rng.Float64(),
+		Channel:     ch,
+		Phase1Frac:  0.4 + 0.6*rng.Float64(),
+		Samples:     12 + rng.Intn(25),
+		WarmOps:     uint64(rng.Intn(4)) * fineGran, // 0..3k
+		SampleOps:   uint64(1+rng.Intn(2)) * fineGran,
+		Seed:        rng.Int63(),
+	}
+}
+
+// genRankedSet draws a valid RSS configuration aligned to the recording
+// granularities.
+func genRankedSet(rng *rand.Rand, ch bbv.Channel, total uint64) sampling.RankedSetConfig {
+	return sampling.RankedSetConfig{
+		IntervalOps: genIntervalOps(rng, total),
+		SetSize:     2 + rng.Intn(3), // 2..4
+		Cycles:      8 + rng.Intn(9), // 8..16
+		Channel:     ch,
+		WarmOps:     uint64(rng.Intn(4)) * fineGran,
+		SampleOps:   uint64(1+rng.Intn(2)) * fineGran,
+		Seed:        rng.Int63(),
+	}
+}
+
+// GenCase deterministically generates the validation case for a seed. Half
+// the cases run the full PGSS differential battery, a quarter each the
+// 2PSS and RSS estimator invariants; the signature channel is drawn
+// uniformly over {BBV, MAV, concatenated} independent of the technique.
 func GenCase(seed int64) *Case {
 	rng := rand.New(rand.NewSource(seed))
 	nk := 2 + rng.Intn(3)
@@ -178,10 +244,23 @@ func GenCase(seed int64) *Case {
 		Seed:       rng.Int63(),
 	}
 	total := uint64(300_000 + rng.Intn(500_001)) // 300k..800k ops
-	return &Case{
+	cs := &Case{
 		Seed:     seed,
 		Spec:     spec,
 		TotalOps: total,
 		Config:   genConfig(rng),
 	}
+	cs.Channel = bbv.Channel(rng.Intn(3))
+	switch rng.Intn(4) {
+	case 0, 1:
+		cs.Technique = "PGSS"
+		cs.Config.Channel = cs.Channel
+	case 2:
+		cs.Technique = "2PSS"
+		cs.TwoPhase = genTwoPhase(rng, cs.Channel, total)
+	default:
+		cs.Technique = "RSS"
+		cs.RankedSet = genRankedSet(rng, cs.Channel, total)
+	}
+	return cs
 }

@@ -124,6 +124,14 @@ func RunCase(ctx context.Context, cs *Case, layouts []parallel.Options, live boo
 	cr.TotalOps = p.TotalOps
 	cr.TrueIPC = p.TrueIPC()
 
+	// Successor-technique cases validate the replay estimators: run-twice
+	// determinism and the cost-ledger invariants, plus the shared aggregate
+	// error bound. The engine differential battery below is PGSS-specific.
+	if cs.Technique == "2PSS" || cs.Technique == "RSS" {
+		checkTechnique(&cr, p, cs)
+		return cr, nil
+	}
+
 	// Serial reference run, plus a second run for seed determinism.
 	serRes, serSt, err := core.RunContext(ctx, sampling.NewProfileTarget(p), cs.Config)
 	if err != nil {
@@ -169,6 +177,69 @@ func RunCase(ctx context.Context, cs *Case, layouts []parallel.Options, live boo
 	return cr, nil
 }
 
+// checkTechnique validates one 2PSS or RSS case over its oracle profile:
+// two runs must be bit-identical, the cost ledger must tie out (every
+// detailed sample charged exactly WarmOps+SampleOps, classification charged
+// in whole intervals, never more than one whole-program pass), and the
+// estimate must be positive and finite. The case's error feeds the same
+// aggregate bound as the PGSS cases.
+func checkTechnique(cr *CaseResult, p *profile.Profile, cs *Case) {
+	var cfgStr string
+	var intervalOps, warmOps, sampleOps uint64
+	run := func() (sampling.Result, error) {
+		if cs.Technique == "2PSS" {
+			return sampling.TwoPhase(p, cs.TwoPhase)
+		}
+		return sampling.RankedSet(p, cs.RankedSet)
+	}
+	if cs.Technique == "2PSS" {
+		cfgStr = cs.TwoPhase.String()
+		intervalOps, warmOps, sampleOps = cs.TwoPhase.IntervalOps, cs.TwoPhase.WarmOps, cs.TwoPhase.SampleOps
+	} else {
+		cfgStr = cs.RankedSet.String()
+		intervalOps, warmOps, sampleOps = cs.RankedSet.IntervalOps, cs.RankedSet.WarmOps, cs.RankedSet.SampleOps
+	}
+	cr.Config = cs.Technique + " " + cfgStr
+
+	res, err := run()
+	if err != nil {
+		cr.violate("technique-run", "%s run failed: %v", cs.Technique, err)
+		return
+	}
+	res2, err := run()
+	if err != nil {
+		cr.violate("seed-determinism", "second %s run failed after a clean first: %v", cs.Technique, err)
+		return
+	}
+	if !reflect.DeepEqual(res, res2) {
+		cr.violate("seed-determinism", "two %s runs of the same case diverged: %+v vs %+v", cs.Technique, res, res2)
+	}
+	cr.EstimatedIPC = res.EstimatedIPC
+	cr.ErrPct = res.ErrorPct()
+	cr.Samples = res.Samples
+	cr.Phases = res.Phases
+
+	if res.Costs.Detailed != res.Samples*sampleOps {
+		cr.violate("sample-budget", "detailed ops %d != %d samples × %d sample ops",
+			res.Costs.Detailed, res.Samples, sampleOps)
+	}
+	if res.Costs.DetailedWarm != res.Samples*warmOps {
+		cr.violate("sample-budget", "detailed warm ops %d != %d samples × %d warm ops",
+			res.Costs.DetailedWarm, res.Samples, warmOps)
+	}
+	if res.Costs.PlainFF%intervalOps != 0 {
+		cr.violate("technique-ledger", "classification pass %d ops is not whole %d-op intervals",
+			res.Costs.PlainFF, intervalOps)
+	}
+	if res.Costs.PlainFF > p.TotalOps {
+		cr.violate("technique-ledger", "classification pass %d ops exceeds the %d-op program (more than one full pass)",
+			res.Costs.PlainFF, p.TotalOps)
+	}
+	if res.EstimatedIPC <= 0 || math.IsNaN(res.EstimatedIPC) || math.IsInf(res.EstimatedIPC, 0) {
+		cr.violate("estimate", "estimated IPC %g is not positive and finite", res.EstimatedIPC)
+	}
+}
+
 // checkLive records a checkpoint library over the case's program and
 // verifies the live engine's shard-layout invariance: the single-shard live
 // run is the reference for every other layout.
@@ -191,6 +262,13 @@ func checkLive(ctx context.Context, cr *CaseResult, prog *program.Program, p *pr
 	src, err := parallel.NewLiveSource(lib, hash, newCore, p.TotalOps, p.TrueIPC())
 	if err != nil {
 		return err
+	}
+	if cfg.Channel.NeedsMAV() {
+		mh, err := bbv.NewMAVHash(bbv.DefaultMAVBits, hashSeed)
+		if err != nil {
+			return err
+		}
+		src.EnableMAV(mh)
 	}
 	ref, refSt, err := parallel.Run(ctx, src, cfg, parallel.Options{Shards: 1, SampleWorkers: 1})
 	if err != nil {

@@ -185,7 +185,8 @@ const defaultHashSeed = 42
 func NewTarget(p *Profile) Target { return sampling.NewProfileTarget(p) }
 
 // NewLiveTarget drives a fresh simulation of the program directly instead
-// of replaying a profile; trueIPC may be zero when unknown.
+// of replaying a profile; trueIPC may be zero when unknown. The target
+// tracks both signature channels, so any PGSSConfig.Channel works live.
 func NewLiveTarget(prog *Program, cc CoreConfig, trueIPC float64) (Target, error) {
 	m, err := cpu.NewMachine(prog)
 	if err != nil {
@@ -199,7 +200,13 @@ func NewLiveTarget(prog *Program, cc CoreConfig, trueIPC float64) (Target, error
 	if err != nil {
 		return nil, err
 	}
-	return sampling.NewLiveTarget(c, hash, 0, trueIPC), nil
+	mh, err := bbv.NewMAVHash(bbv.DefaultMAVBits, defaultHashSeed)
+	if err != nil {
+		return nil, err
+	}
+	t := sampling.NewLiveTarget(c, hash, 0, trueIPC)
+	t.EnableMAV(mh)
+	return t, nil
 }
 
 // DefaultPGSSConfig returns the paper's best overall PGSS configuration
@@ -264,6 +271,11 @@ func RunPGSSLiveParallel(ctx context.Context, lib *CheckpointLibrary, prog *Prog
 	if err != nil {
 		return Result{}, PGSSStats{}, err
 	}
+	mh, err := bbv.NewMAVHash(bbv.DefaultMAVBits, defaultHashSeed)
+	if err != nil {
+		return Result{}, PGSSStats{}, err
+	}
+	src.EnableMAV(mh)
 	return parallel.Run(ctx, src, cfg, opts)
 }
 
@@ -333,6 +345,59 @@ func RunStratified(p *Profile, cfg StratifiedConfig) (Result, error) {
 // sampling interface; its estimate equals the profile's true IPC.
 func RunFull(p *Profile) (Result, error) {
 	return sampling.Full(sampling.NewProfileTarget(p), p.BBVOps)
+}
+
+// Successor techniques and signature channels (beyond the paper's
+// evaluation; see DESIGN.md "Two-channel signatures").
+
+type (
+	// Channel selects the signature stream phase classification and
+	// stratification run on: basic-block vectors (code addresses),
+	// memory-access vectors (data addresses), or their concatenation.
+	Channel = bbv.Channel
+	// TwoPhaseConfig parameterises two-phase stratified sampling (2PSS).
+	TwoPhaseConfig = sampling.TwoPhaseConfig
+	// RankedSetConfig parameterises ranked set sampling with repeated
+	// subsampling (RSS).
+	RankedSetConfig = sampling.RankedSetConfig
+)
+
+// Signature channels.
+const (
+	// ChannelBBV classifies by basic-block vectors (the paper's channel).
+	ChannelBBV = bbv.ChannelBBV
+	// ChannelMAV classifies by memory-access vectors.
+	ChannelMAV = bbv.ChannelMAV
+	// ChannelBoth classifies by the normalised concatenation of both.
+	ChannelBoth = bbv.ChannelBoth
+)
+
+// ParseChannel parses a channel name: "bbv", "mav", or "both" (aliases
+// "bbv+mav", "concat").
+func ParseChannel(s string) (Channel, error) { return bbv.ParseChannel(s) }
+
+// DefaultTwoPhaseConfig returns the 2PSS setup at the given scale.
+func DefaultTwoPhaseConfig(scale uint64) TwoPhaseConfig {
+	return sampling.DefaultTwoPhaseConfig(scale)
+}
+
+// RunTwoPhase runs two-phase stratified sampling (2PSS) over a profile:
+// phase 1 signature-classifies a random subset of intervals into strata,
+// phase 2 spends the detailed budget proportionally across them.
+func RunTwoPhase(p *Profile, cfg TwoPhaseConfig) (Result, error) {
+	return sampling.TwoPhase(p, cfg)
+}
+
+// DefaultRankedSetConfig returns the RSS setup at the given scale.
+func DefaultRankedSetConfig(scale uint64) RankedSetConfig {
+	return sampling.DefaultRankedSetConfig(scale)
+}
+
+// RunRankedSet runs ranked set sampling with repeated subsampling (RSS)
+// over a profile: each cycle ranks fresh random interval sets by a cheap
+// signature concomitant and measures one order statistic per set.
+func RunRankedSet(p *Profile, cfg RankedSetConfig) (Result, error) {
+	return sampling.RankedSet(p, cfg)
 }
 
 // PGSSSweep returns the Fig 11 PGSS configuration grid at the given scale.
