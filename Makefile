@@ -1,6 +1,6 @@
 GO ?= go
 BENCHTIME ?= 1x
-BENCH_JSON ?= BENCH_pr7.json
+BENCH_JSON ?= BENCH_pr9.json
 # Packages the bench targets run over. CI's bench job narrows this to the
 # hot packages so base-vs-head comparisons finish in budget.
 BENCH_PKGS ?= ./...

@@ -13,6 +13,7 @@
 package pgss_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -21,6 +22,7 @@ import (
 	"pgss/internal/cluster"
 	"pgss/internal/cpu"
 	"pgss/internal/experiments"
+	"pgss/internal/faultinject"
 	"pgss/internal/workload"
 )
 
@@ -275,4 +277,59 @@ func BenchmarkPGSSReplay(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// campaignMacro resolves every artifact a campaign needs through the
+// suite's store — the profile and the checkpoint library of each benchmark
+// (cold: recorded by detailed simulation; warm: loaded from the store) —
+// then runs a multi-seed replay campaign over them. Checkpoint-accelerated
+// live sampling is timed separately (its per-run simulation cost is the
+// same cold and warm and would mask the dedup ratio this benchmark
+// measures).
+func campaignMacro(b *testing.B, s *experiments.Suite) {
+	b.Helper()
+	for _, name := range []string{"197.parser", "177.mesa"} {
+		if _, err := s.CheckpointLibrary(name); err != nil {
+			b.Fatal(err)
+		}
+	}
+	specs := experiments.CampaignSpecs(
+		[]string{"197.parser", "177.mesa"}, []string{"PGSS", "2PSS", "RSS"}, 3)
+	for _, sp := range specs {
+		if _, err := s.CampaignRun(context.Background(), sp); err != nil {
+			b.Fatalf("%v: %v", sp, err)
+		}
+	}
+}
+
+// BenchmarkCampaignMacro measures the artifact store's reason to exist:
+// the same campaign cold (every profile and checkpoint library recorded
+// into an empty store) versus warm (a fresh suite — a new process — over
+// an already-populated store). The cold/warm ns/op ratio is the
+// cross-campaign dedup speedup.
+func BenchmarkCampaignMacro(b *testing.B) {
+	opts := experiments.Options{
+		Scale: 10, TotalOps: 400_000, HashSeed: 42, Quiet: true,
+		ArtifactDir: "store",
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o := opts
+			o.FS = faultinject.NewMemFS()
+			campaignMacro(b, experiments.MustNewSuite(o))
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		o := opts
+		o.FS = faultinject.NewMemFS()
+		// Populate the store outside the timed region; each iteration then
+		// opens a fresh suite over it, as a new campaign process would.
+		campaignMacro(b, experiments.MustNewSuite(o))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			campaignMacro(b, experiments.MustNewSuite(o))
+		}
+	})
 }

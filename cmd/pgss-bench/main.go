@@ -44,6 +44,7 @@ func main() {
 	ops := flag.Uint64("ops", 0, "override per-benchmark op count (0 = defaults × size)")
 	scale := flag.Uint64("scale", 10, "parameter scale divisor vs the paper's SPEC-scale values")
 	cache := flag.String("cache", defaultCacheDir(), "profile cache directory ('' disables)")
+	artifacts := flag.String("artifacts", "", "content-addressed artifact store root shared across runs and processes ('' disables; supersedes -cache)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	csvDir := flag.String("csv", "", "also write every table as CSV into this directory")
 	camp := flag.String("campaign", "", "run a campaign of the given techniques ('all' or comma-separated) instead of figures")
@@ -67,6 +68,7 @@ func main() {
 	opts.SizeFactor = *size
 	opts.TotalOps = *ops
 	opts.CacheDir = *cache
+	opts.ArtifactDir = *artifacts
 	opts.Quiet = *quiet
 	opts.Jobs = *jobs
 	opts.Shards = *shards

@@ -217,6 +217,16 @@ func compare(base, cur Snapshot, maxRegress float64, only *regexp.Regexp, w io.W
 			regressed = true
 		}
 		fmt.Fprintf(w, "%-44s %12.1f %12.1f %+7.1f%%%s\n", name, b.NsPerOp, c.NsPerOp, delta, mark)
+		if d, ok := allocRegression(b, c, maxRegress); ok {
+			fmt.Fprintf(w, "%-44s %12.0f %12.0f %+7.1f%%  << ALLOCS/OP REGRESSION\n",
+				name, b.AllocsPerOp, c.AllocsPerOp, d)
+			regressed = true
+		}
+		if d, ok := bytesRegression(b, c, maxRegress); ok {
+			fmt.Fprintf(w, "%-44s %12.0f %12.0f %+7.1f%%  << B/OP REGRESSION\n",
+				name, b.BytesPerOp, c.BytesPerOp, d)
+			regressed = true
+		}
 		logSum += math.Log(c.NsPerOp / b.NsPerOp)
 		compared++
 	}
@@ -233,7 +243,7 @@ func compare(base, cur Snapshot, maxRegress float64, only *regexp.Regexp, w io.W
 			name, base.Benchmarks[name].NsPerOp, "-")
 	}
 	if regressed {
-		fmt.Fprintf(w, "pgss-benchdiff: ns/op regression beyond %.0f%% detected\n", maxRegress)
+		fmt.Fprintf(w, "pgss-benchdiff: regression beyond %.0f%% detected\n", maxRegress)
 	}
 	if len(missing) > 0 {
 		fmt.Fprintf(w, "pgss-benchdiff: %d benchmark(s) present in the baseline are missing from the head snapshot: %v\n",
@@ -241,6 +251,28 @@ func compare(base, cur Snapshot, maxRegress float64, only *regexp.Regexp, w io.W
 		fmt.Fprintf(w, "pgss-benchdiff: a deleted or renamed benchmark must update the baseline snapshot, not skip the gate\n")
 	}
 	return regressed || len(missing) > 0
+}
+
+// allocRegression gates allocs/op. Benchmarks without b.ReportAllocs()
+// record zero for both sides and never fire; a noise floor of 2 allocs/op
+// absolute keeps 1→2-style jitter on nearly-alloc-free benchmarks from
+// tripping the percentage gate.
+func allocRegression(b, c BenchStat, maxRegress float64) (delta float64, regressed bool) {
+	if b.AllocsPerOp < 1 {
+		return 0, false
+	}
+	delta = (c.AllocsPerOp - b.AllocsPerOp) / b.AllocsPerOp * 100
+	return delta, delta > maxRegress && c.AllocsPerOp-b.AllocsPerOp >= 2
+}
+
+// bytesRegression gates B/op with a 64-byte absolute noise floor (one
+// cache line), for the same reason as the allocs floor.
+func bytesRegression(b, c BenchStat, maxRegress float64) (delta float64, regressed bool) {
+	if b.BytesPerOp <= 0 {
+		return 0, false
+	}
+	delta = (c.BytesPerOp - b.BytesPerOp) / b.BytesPerOp * 100
+	return delta, delta > maxRegress && c.BytesPerOp-b.BytesPerOp >= 64
 }
 
 func fatal(err error) {

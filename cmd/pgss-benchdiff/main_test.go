@@ -124,3 +124,57 @@ func TestCompareGeomeanSkipsZeroes(t *testing.T) {
 		t.Fatalf("zero-valued benchmark not excluded from geomean:\n%s", out.String())
 	}
 }
+
+func allocSnap(benchmarks map[string]BenchStat) Snapshot {
+	return Snapshot{Schema: 1, Benchmarks: benchmarks}
+}
+
+func TestCompareDetectsAllocRegression(t *testing.T) {
+	base := allocSnap(map[string]BenchStat{
+		"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 10, BytesPerOp: 1024, Iterations: 100},
+	})
+	cur := allocSnap(map[string]BenchStat{
+		"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 20, BytesPerOp: 1024, Iterations: 100},
+	})
+	var out strings.Builder
+	if !compare(base, cur, 15, nil, &out) {
+		t.Fatal("doubled allocs/op under a 15% gate did not fail")
+	}
+	if !strings.Contains(out.String(), "ALLOCS/OP REGRESSION") {
+		t.Fatalf("allocs regression not flagged:\n%s", out.String())
+	}
+}
+
+func TestCompareDetectsBytesRegression(t *testing.T) {
+	base := allocSnap(map[string]BenchStat{
+		"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 10, BytesPerOp: 1024, Iterations: 100},
+	})
+	cur := allocSnap(map[string]BenchStat{
+		"BenchmarkA": {NsPerOp: 100, AllocsPerOp: 10, BytesPerOp: 2048, Iterations: 100},
+	})
+	var out strings.Builder
+	if !compare(base, cur, 15, nil, &out) {
+		t.Fatal("doubled B/op under a 15% gate did not fail")
+	}
+	if !strings.Contains(out.String(), "B/OP REGRESSION") {
+		t.Fatalf("bytes regression not flagged:\n%s", out.String())
+	}
+}
+
+func TestCompareAllocNoiseFloors(t *testing.T) {
+	// 1 -> 2 allocs is +100% but only +1 alloc; 32 -> 80 B is +150% but
+	// under the 64 B floor; neither may fail the gate. Benchmarks that never
+	// called ReportAllocs record zeroes and must stay inert too.
+	base := allocSnap(map[string]BenchStat{
+		"BenchmarkTiny":    {NsPerOp: 100, AllocsPerOp: 1, BytesPerOp: 32, Iterations: 100},
+		"BenchmarkNoStats": {NsPerOp: 100, Iterations: 100},
+	})
+	cur := allocSnap(map[string]BenchStat{
+		"BenchmarkTiny":    {NsPerOp: 100, AllocsPerOp: 2, BytesPerOp: 80, Iterations: 100},
+		"BenchmarkNoStats": {NsPerOp: 100, Iterations: 100},
+	})
+	var out strings.Builder
+	if compare(base, cur, 15, nil, &out) {
+		t.Fatalf("sub-floor alloc jitter failed the gate:\n%s", out.String())
+	}
+}

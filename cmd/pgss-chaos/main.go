@@ -63,10 +63,28 @@ func main() {
 		}
 		fmt.Printf("ok   %s\n", out)
 	}
-	if failed > 0 {
-		fatal(fmt.Errorf("chaos: %d/%d scenarios failed", failed, len(scenarios)))
+
+	// Artifact-store scenarios: mid-publish power loss against the
+	// content-addressed store, same seeds as the campaign sweep.
+	storeRef, err := chaos.ReferenceStoreSHAs()
+	if err != nil {
+		fatal(err)
 	}
-	fmt.Printf("chaos: %d scenarios converged to baseline-identical results\n", len(scenarios))
+	for _, sc := range scenarios {
+		out, err := chaos.RunStore(sc.Seed, storeRef, logf)
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "FAIL store-%d: %v\n", sc.Seed, err)
+			continue
+		}
+		fmt.Printf("ok   %s\n", out)
+	}
+
+	total := 2 * len(scenarios)
+	if failed > 0 {
+		fatal(fmt.Errorf("chaos: %d/%d scenarios failed", failed, total))
+	}
+	fmt.Printf("chaos: %d scenarios converged to baseline-identical results\n", total)
 }
 
 func fatal(err error) {

@@ -14,8 +14,10 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
 
 	"pgss"
+	"pgss/internal/bbv"
 	"pgss/internal/phase"
 	"pgss/internal/stats"
 )
@@ -84,6 +86,62 @@ func main() {
 		fmt.Printf("%6d %10d %7.2f%% %10.4f %10.4f\n",
 			p.ID, p.Intervals, float64(p.Ops)/float64(total)*100,
 			acc[p.ID].Mean(), acc[p.ID].StdDev())
+	}
+	printMAVDiagnostics(prof, table, ids, n, *gran)
+}
+
+// printMAVDiagnostics prints the per-phase memory-access-vector table:
+// access density (the MAV counts loads and stores combined) and how
+// concentrated each phase's accesses are on its hottest hashed lines.
+func printMAVDiagnostics(prof *pgss.Profile, table *phase.Table, ids []int, n int, gran uint64) {
+	if !prof.HasMAV() {
+		fmt.Printf("\n(no MAV channel: profile recorded with MAVBits=0)\n")
+		return
+	}
+	if gran%prof.BBVOps != 0 {
+		fmt.Printf("\n(MAV diagnostics skipped: granularity %d not a multiple of MAV granularity %d)\n",
+			gran, prof.BBVOps)
+		return
+	}
+	width := 1 << prof.MAVBits
+	sums := make([]bbv.Vector, table.NumPhases())
+	win := make(bbv.Vector, width)
+	for i := 0; i < n; i++ {
+		ok, err := prof.MAVWindowInto(win, uint64(i)*gran, gran)
+		check(err)
+		if !ok {
+			break
+		}
+		if sums[ids[i]] == nil {
+			sums[ids[i]] = make(bbv.Vector, width)
+		}
+		sums[ids[i]].Add(win)
+	}
+
+	fmt.Printf("\nMAV channel (%d hashed lines; density counts loads+stores per op):\n", width)
+	fmt.Printf("%6s %12s %12s %10s %10s\n",
+		"phase", "accesses", "density", "top_line%", "top8_line%")
+	for _, p := range table.Phases() {
+		v := sums[p.ID]
+		if v == nil || p.Ops == 0 {
+			continue
+		}
+		var total float64
+		top := make([]float64, 0, len(v))
+		for _, c := range v {
+			total += c
+			top = append(top, c)
+		}
+		if total == 0 {
+			continue
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(top)))
+		top8 := 0.0
+		for i := 0; i < 8 && i < len(top); i++ {
+			top8 += top[i]
+		}
+		fmt.Printf("%6d %12.0f %12.4f %9.2f%% %9.2f%%\n",
+			p.ID, total, total/float64(p.Ops), top[0]/total*100, top8/total*100)
 	}
 }
 

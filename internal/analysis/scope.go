@@ -13,7 +13,10 @@ import (
 //
 // Deliberately absent: campaign and experiments (wall-clock timing,
 // jittered retry backoff and progress logging are their job), validate
-// (drives wall-clock campaign machinery), the cmd/ mains and examples.
+// (drives wall-clock campaign machinery), artifact (the cross-process
+// store paces lock-file waits with a wall clock by default; its contents
+// are produced by engine packages and stay deterministic — tests that
+// need determinism inject a ManualClock), the cmd/ mains and examples.
 // faultinject is IN the set: fault schedules must replay from a seed, so
 // the package is deterministic by construction (its Clock interface is
 // implemented with a wall clock only outside the engine, in campaign).

@@ -1,0 +1,183 @@
+package artifact
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"pgss/internal/binenc"
+	"pgss/internal/faultinject"
+	"pgss/internal/pgsserrors"
+)
+
+// indexSchema versions index.json. Unknown schemas are treated as
+// corruption: rebuilt from the objects, never guessed at.
+const indexSchema = 1
+
+// Entry is one indexed artifact.
+type Entry struct {
+	Key Key `json:"key"`
+	// Size is the object file size in bytes.
+	Size int64 `json:"size"`
+	// ContentSHA is the SHA-256 of the object file's bytes, recorded at
+	// publish; Verify recomputes and compares it.
+	ContentSHA string `json:"content_sha,omitempty"`
+	// Refs counts explicit pins; GC never evicts a pinned artifact.
+	Refs int `json:"refs,omitempty"`
+	// CreatedGen/LastUseGen order entries for LRU eviction. Generations are
+	// a store-local logical clock (bumped per publish/load), not wall time,
+	// so the index stays deterministic under injected filesystems.
+	CreatedGen uint64 `json:"created_gen"`
+	LastUseGen uint64 `json:"last_use_gen"`
+	// Recovered marks an entry rebuilt from an object scan: its Key holds
+	// only what the container self-describes, not the full recording
+	// parameters.
+	Recovered bool `json:"recovered,omitempty"`
+}
+
+// indexImage is the serialized form of index.json.
+type indexImage struct {
+	Schema int `json:"schema"`
+	// Gen is the logical clock high-water mark.
+	Gen uint64 `json:"gen"`
+	// Entries maps artifact hash (the object filename stem) to its entry.
+	Entries map[string]*Entry `json:"entries"`
+}
+
+func newIndex() indexImage {
+	return indexImage{Schema: indexSchema, Entries: map[string]*Entry{}}
+}
+
+// loadIndex reads and validates index.json. A missing file keeps its os
+// error (os.IsNotExist); everything unreadable or structurally wrong is
+// ErrCacheCorrupt-classified so Open can rebuild.
+func loadIndex(fsys faultinject.FS, path string) (indexImage, error) {
+	var idx indexImage
+	f, err := faultinject.Open(fsys, path)
+	if err != nil {
+		return idx, err
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return idx, fmt.Errorf("artifact: read index: %w", err)
+	}
+	if err := json.Unmarshal(data, &idx); err != nil {
+		return idx, pgsserrors.Corruptf("artifact: index %s: %v", path, err)
+	}
+	if idx.Schema != indexSchema {
+		return idx, pgsserrors.Corruptf("artifact: index %s: schema %d, want %d", path, idx.Schema, indexSchema)
+	}
+	if idx.Entries == nil {
+		idx.Entries = map[string]*Entry{}
+	}
+	for hash, e := range idx.Entries {
+		if e == nil || len(hash) != 64 {
+			return idx, pgsserrors.Corruptf("artifact: index %s: malformed entry %q", path, hash)
+		}
+	}
+	return idx, nil
+}
+
+// persistIndexLocked writes the index atomically; callers hold s.mu. Index
+// trouble is logged, never fatal — the objects are the truth and the next
+// Open rebuilds.
+func (s *Store) persistIndexLocked() {
+	err := faultinject.WriteAtomic(s.fsys, s.indexPath(), 0o644, func(w io.Writer) error {
+		enc, err := json.MarshalIndent(s.idx, "", "  ")
+		if err != nil {
+			return err
+		}
+		enc = append(enc, '\n')
+		_, err = w.Write(enc)
+		return err
+	})
+	if err != nil {
+		s.logf("artifact: persist index: %v\n", err)
+	}
+}
+
+// rebuildIndex scans objects/ and synthesizes entries for every readable
+// artifact. Kind comes from the container magic; the rest of the key is
+// unknowable from content alone, so entries are marked Recovered and their
+// generations reset (they age out of GC order naturally).
+func (s *Store) rebuildIndex() indexImage {
+	idx := newIndex()
+	for _, obj := range s.scanObjects() {
+		if strings.HasSuffix(obj, ".tmp") {
+			continue // mid-publish leftovers; Verify sweeps them
+		}
+		hash := strings.TrimSuffix(obj, ".art")
+		i := strings.LastIndexByte(hash, '/')
+		if i < 0 {
+			i = strings.LastIndexByte(hash, '\\')
+		}
+		hash = hash[i+1:]
+		if len(hash) != 64 {
+			continue
+		}
+		kind, sha, size, err := s.sniffObject(obj)
+		if err != nil {
+			s.logf("artifact: rebuild: skip unreadable %s: %v\n", obj, err)
+			continue
+		}
+		idx.Entries[hash] = &Entry{
+			Key: Key{Kind: kind}, Size: size, ContentSHA: sha, Recovered: true,
+		}
+	}
+	return idx
+}
+
+// scanObjects lists every file under objects/<hh>/, full paths, sorted
+// (ReadDir sorts, and shard dirs are visited in sorted order).
+func (s *Store) scanObjects() []string {
+	var out []string
+	shards, err := s.fsys.ReadDir(s.objectsDir())
+	if err != nil {
+		return nil
+	}
+	for _, sh := range shards {
+		if !sh.IsDir() {
+			continue
+		}
+		dir := s.objectsDir() + "/" + sh.Name()
+		files, err := s.fsys.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if f.IsDir() {
+				continue
+			}
+			out = append(out, dir+"/"+f.Name())
+		}
+	}
+	return out
+}
+
+// sniffObject reads one object file and classifies it by container magic,
+// returning its kind, content SHA and size. Unknown magic is corruption.
+func (s *Store) sniffObject(path string) (Kind, string, int64, error) {
+	sha, size, err := s.contentSHA(path)
+	if err != nil {
+		return "", "", 0, err
+	}
+	f, err := faultinject.Open(s.fsys, path)
+	if err != nil {
+		return "", "", 0, err
+	}
+	defer f.Close()
+	head := make([]byte, binenc.MagicLen)
+	if _, err := io.ReadFull(f, head); err != nil {
+		return "", "", 0, pgsserrors.Corruptf("artifact: %s: short container: %v", path, err)
+	}
+	switch magic, _ := binenc.Magic(head); magic {
+	case profileMagicName:
+		return KindProfile, sha, size, nil
+	case libraryMagicName:
+		return KindCheckpoints, sha, size, nil
+	default:
+		return "", "", 0, pgsserrors.Corruptf("artifact: %s: unknown container magic %q", path, magic)
+	}
+}

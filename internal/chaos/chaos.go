@@ -116,23 +116,30 @@ var (
 	fixtureErr  error
 )
 
-// NewHarness records the benchmark profiles (cached across harnesses —
-// they are immutable) and fixes the campaign grid. logf may be nil.
-func NewHarness(logf func(format string, args ...any)) (*Harness, error) {
+// fixtureOps is the fixture benchmark length shared by the campaign and
+// store scenarios.
+const fixtureOps = 400_000
+
+// fixtureCore builds a fresh detailed core over a fixture benchmark.
+func fixtureCore(name string) (*cpu.Core, error) {
+	spec, err := workload.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := spec.Build(fixtureOps)
+	if err != nil {
+		return nil, err
+	}
+	return cpu.NewCore(cpu.MustNewMachine(prog), cpu.DefaultCoreConfig())
+}
+
+// fixtureProfiles records the benchmark profiles once per process (they
+// are immutable and every scenario shares them).
+func fixtureProfiles() (map[string]*profile.Profile, error) {
 	fixtureOnce.Do(func() {
 		fixtures = map[string]*profile.Profile{}
 		for _, name := range []string{"197.parser", "177.mesa"} {
-			spec, err := workload.Get(name)
-			if err != nil {
-				fixtureErr = err
-				return
-			}
-			prog, err := spec.Build(400_000)
-			if err != nil {
-				fixtureErr = err
-				return
-			}
-			c, err := cpu.NewCore(cpu.MustNewMachine(prog), cpu.DefaultCoreConfig())
+			c, err := fixtureCore(name)
 			if err != nil {
 				fixtureErr = err
 				return
@@ -145,14 +152,21 @@ func NewHarness(logf func(format string, args ...any)) (*Harness, error) {
 			fixtures[name] = p
 		}
 	})
-	if fixtureErr != nil {
-		return nil, fixtureErr
+	return fixtures, fixtureErr
+}
+
+// NewHarness records the benchmark profiles (cached across harnesses —
+// they are immutable) and fixes the campaign grid. logf may be nil.
+func NewHarness(logf func(format string, args ...any)) (*Harness, error) {
+	profiles, err := fixtureProfiles()
+	if err != nil {
+		return nil, err
 	}
 	cfg := core.DefaultConfig(10)
 	cfg.FFOps = 50_000
 	cfg.SpreadOps = 50_000
 	return &Harness{
-		profiles: fixtures,
+		profiles: profiles,
 		specs: campaign.Grid(
 			[]string{"197.parser", "177.mesa"}, []string{"pgss-parallel"}, []int64{1, 2}),
 		cfg:  cfg,

@@ -1,0 +1,178 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"pgss/internal/artifact"
+	"pgss/internal/checkpoint"
+	"pgss/internal/cpu"
+	"pgss/internal/faultinject"
+	"pgss/internal/profile"
+)
+
+// StoreOutcome reports one artifact-store chaos scenario.
+type StoreOutcome struct {
+	Seed        int64
+	Lives       int // store sessions until both artifacts resolved
+	FaultsFired int
+	FaultLog    []string
+}
+
+func (o StoreOutcome) String() string {
+	return fmt.Sprintf("store-%d: %d lives, %d faults fired", o.Seed, o.Lives, o.FaultsFired)
+}
+
+// storeProfileKey / storeLibraryKey address the two fixture artifacts.
+func storeProfileKey(name string) artifact.Key {
+	cfg := profile.DefaultConfig()
+	return artifact.Key{
+		Kind: artifact.KindProfile, Benchmark: name, Ops: fixtureOps,
+		HashBits: 5, HashSeed: 42,
+		FineOps: cfg.FineOps, BBVOps: cfg.BBVOps,
+		MAVBits: cfg.MAVBits, MAVSeed: cfg.MAVSeed,
+		CoreConfig: artifact.ConfigLabel(cpu.DefaultCoreConfig()), Schema: 1,
+	}
+}
+
+func storeLibraryKey(name string) artifact.Key {
+	return artifact.Key{
+		Kind: artifact.KindCheckpoints, Benchmark: name, Ops: fixtureOps,
+		StrideOps:  100_000,
+		CoreConfig: artifact.ConfigLabel(cpu.DefaultCoreConfig()), Schema: 1,
+	}
+}
+
+// resolveFixtures pushes both fixture artifacts through one store session,
+// returning the first error (the "process death" of a chaos life).
+func resolveFixtures(fsys faultinject.FS, logf func(string, ...any)) error {
+	st, err := artifact.Open("store", artifact.Options{
+		FS: fsys, Logf: logf,
+		LockPoll: time.Millisecond, LockStale: 50 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	profiles, err := fixtureProfiles()
+	if err != nil {
+		return err
+	}
+	if _, err := st.Profile(storeProfileKey("197.parser"),
+		func() (*profile.Profile, error) { return profiles["197.parser"], nil }); err != nil {
+		return err
+	}
+	_, err = st.Library(storeLibraryKey("197.parser"), func() (*checkpoint.Library, error) {
+		c, err := fixtureCore("197.parser")
+		if err != nil {
+			return nil, err
+		}
+		return checkpoint.Record(c, 100_000, fixtureOps)
+	})
+	return err
+}
+
+// ReferenceStoreSHAs publishes both fixture artifacts on a pristine
+// filesystem and returns hash→content-SHA — the bytes every chaotic
+// publish must converge to.
+func ReferenceStoreSHAs() (map[string]string, error) {
+	mem := faultinject.NewMemFS()
+	if err := resolveFixtures(mem, nil); err != nil {
+		return nil, fmt.Errorf("chaos: reference store publish: %w", err)
+	}
+	st, err := artifact.Open("store", artifact.Options{FS: mem})
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]string{}
+	for _, e := range st.List() {
+		out[e.Hash] = e.ContentSHA
+	}
+	if len(out) != 2 {
+		return nil, fmt.Errorf("chaos: reference store holds %d artifacts, want 2", len(out))
+	}
+	return out, nil
+}
+
+// RunStore executes one artifact-store chaos scenario: a store session
+// publishes the fixture artifacts under a seeded fault schedule; every
+// failure is treated as a process death with power loss (MemFS.Crash, so
+// unsynced data — half-written .tmp files, lock files — vanishes), and a
+// fresh session retries. Once both artifacts resolve, the scenario asserts
+// the crash-consistency contract: the reopened store passes Verify, and
+// every published object's bytes are identical to an undisturbed publish
+// (interrupted recordings re-record to the same content hash).
+func RunStore(seed int64, reference map[string]string, logf func(string, ...any)) (StoreOutcome, error) {
+	out := StoreOutcome{Seed: seed}
+	log := logf
+	if log == nil {
+		log = func(string, ...any) {}
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	rules := faultinject.RandomSchedule(seed, 1+rng.Intn(4), "store")
+	mem := faultinject.NewMemFS()
+	inj := faultinject.NewInjector(mem, rules...)
+
+	maxLives := len(rules) + 2
+	var resolved bool
+	for life := 0; life < maxLives; life++ {
+		out.Lives++
+		if err := resolveFixtures(inj, log); err != nil {
+			log("chaos: store-%d life %d died: %v\n", seed, life, err)
+			mem.Crash() // power loss mid-publish
+			continue
+		}
+		resolved = true
+		break
+	}
+	out.FaultsFired = inj.Fired()
+	out.FaultLog = inj.Log()
+	if !resolved {
+		return out, fmt.Errorf("chaos: store-%d did not resolve within %d lives (faults: %v)",
+			seed, maxLives, out.FaultLog)
+	}
+
+	// Power-cycle once more, then audit. Whatever survived must verify
+	// clean — atomic publishes never leave corrupt objects, though a
+	// dropped-fsync fault may legitimately have erased one entirely.
+	mem.Crash()
+	st, err := artifact.Open("store", artifact.Options{FS: mem, Logf: log})
+	if err != nil {
+		return out, fmt.Errorf("chaos: store-%d reopen after power loss: %w", seed, err)
+	}
+	rep, err := st.Verify()
+	if err != nil {
+		return out, fmt.Errorf("chaos: store-%d verify: %w", seed, err)
+	}
+	if len(rep.Corrupt) > 0 {
+		return out, fmt.Errorf("chaos: store-%d published corrupt objects (%s) despite atomic writes; faults: %v",
+			seed, rep, out.FaultLog)
+	}
+	// One clean session on the bare disk (the fault weather has passed)
+	// must converge: artifacts the power loss erased re-record, and every
+	// byte must match the undisturbed reference publish.
+	if err := resolveFixtures(mem, log); err != nil {
+		return out, fmt.Errorf("chaos: store-%d re-record after power loss: %w", seed, err)
+	}
+	st, err = artifact.Open("store", artifact.Options{FS: mem, Logf: log})
+	if err != nil {
+		return out, fmt.Errorf("chaos: store-%d reopen after re-record: %w", seed, err)
+	}
+	entries := st.List()
+	if len(entries) != 2 {
+		return out, fmt.Errorf("chaos: store-%d holds %d artifacts after verify, want 2 (%s)",
+			seed, len(entries), rep)
+	}
+	for _, e := range entries {
+		want, ok := reference[e.Hash]
+		if !ok {
+			return out, fmt.Errorf("chaos: store-%d published unexpected artifact %s", seed, e.Hash[:12])
+		}
+		if e.ContentSHA != want {
+			return out, fmt.Errorf("chaos: store-%d artifact %s bytes diverged: %s, want %s (faults: %v)",
+				seed, e.Hash[:12], e.ContentSHA[:12], want[:12], out.FaultLog)
+		}
+	}
+	return out, nil
+}

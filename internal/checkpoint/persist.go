@@ -30,6 +30,10 @@ const (
 	libraryMagic   = "PGSSCKPT"
 	libraryVersion = 1
 
+	// BinaryMagic is the container magic, exported so multi-format stores
+	// (the artifact store) can sniff library containers without decoding.
+	BinaryMagic = libraryMagic
+
 	tagLibraryMeta       = 1
 	tagLibraryCheckpoint = 2
 )

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+
+	"pgss/internal/bbv"
+)
+
+// BenchmarkControllerAdvanceResolve measures the per-window cost of the
+// settlement path under maximal sample pressure: every window schedules a
+// detailed sample (confidence bound disabled, sample floor unreachable,
+// spread rule off), which exercises the pendingSample/SampleRequest arena
+// and the mutex/cond delivery on every iteration.
+func BenchmarkControllerAdvanceResolve(b *testing.B) {
+	cfg := DefaultConfig(10)
+	cfg.DisableConfidence = true
+	cfg.DisableSpread = true
+	cfg.MinSamples = 1 << 62 // never satisfied: a sample per window
+
+	ctl, err := NewController(cfg, "bench", 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := make(bbv.Vector, 32)
+	for k := range v {
+		v[k] = float64(k%7) + 1
+	}
+	v = v.Normalize()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var pos uint64
+	var req *SampleRequest
+	for i := 0; i < b.N; i++ {
+		if req != nil {
+			req.Resolve(1.0, req.Warm, req.Sample)
+		}
+		pos += cfg.FFOps
+		req, err = ctl.Advance(v, nil, cfg.FFOps, pos)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

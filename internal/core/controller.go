@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"pgss/internal/bbv"
 	"pgss/internal/phase"
@@ -49,22 +50,82 @@ type Controller struct {
 	// order records every adopted sample in execution order for the final
 	// drain.
 	order []*pendingSample
+
+	// mu/cond synchronise sample delivery: Resolve/Fail (possibly on
+	// worker goroutines) flip done under mu and broadcast; drain/Finish
+	// wait on cond. One controller-level pair replaces a per-sample
+	// channel — samples are settled in queue order anyway, so a shared
+	// broadcast costs no extra wake-ups in the serial case and few in the
+	// parallel one.
+	mu   sync.Mutex
+	cond sync.Cond
+
+	// psArena and reqArena slab-allocate samples and requests in chunks:
+	// a run at fine granularity schedules tens of thousands of samples,
+	// and one bump-pointer chunk amortises those allocations 64×.
+	psArena  []pendingSample
+	reqArena []SampleRequest
 }
+
+// arenaChunk is the slab size for pendingSample/SampleRequest arenas.
+const arenaChunk = 64
 
 // pendingSample is one scheduled detailed sample whose measurement may
 // arrive after later windows have been processed.
 type pendingSample struct {
+	c       *Controller  // owner; carries the delivery mutex/cond
 	phase   *phase.Phase // phase the sample is attributed to
 	guarded bool         // discard under GuardTransitions (phase changed under the sample)
 	recPos  uint64       // op position after the window the sample sat in
 
-	ready chan struct{} // closed by Resolve/Fail
-	// Written by Resolve/Fail before ready closes, read after it closes.
+	// Written by Resolve/Fail under c.mu (done last), read after wait
+	// observes done.
+	done               bool
 	ipc                float64
 	warmOps, sampleOps uint64 // detailed ops actually executed
 	err                error
 
 	settled bool
+}
+
+// newPending bump-allocates a zeroed pendingSample from the arena.
+func (c *Controller) newPending() *pendingSample {
+	if len(c.psArena) == 0 {
+		c.psArena = make([]pendingSample, arenaChunk)
+	}
+	ps := &c.psArena[0]
+	c.psArena = c.psArena[1:]
+	ps.c = c
+	return ps
+}
+
+// newRequest bump-allocates a SampleRequest from the arena.
+func (c *Controller) newRequest() *SampleRequest {
+	if len(c.reqArena) == 0 {
+		c.reqArena = make([]SampleRequest, arenaChunk)
+	}
+	r := &c.reqArena[0]
+	c.reqArena = c.reqArena[1:]
+	return r
+}
+
+// deliver publishes a sample measurement and wakes every waiter.
+func (c *Controller) deliver(ps *pendingSample, set func()) {
+	c.mu.Lock()
+	set()
+	ps.done = true
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// wait blocks until ps is delivered and returns its error.
+func (c *Controller) wait(ps *pendingSample) error {
+	c.mu.Lock()
+	for !ps.done {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+	return ps.err
 }
 
 // SampleRequest asks the driver to execute one detailed sample: Warm
@@ -86,17 +147,19 @@ type SampleRequest struct {
 // actually spent. A non-positive or NaN IPC, or zero sampleOps, marks the
 // sample invalid — the ops are still charged, nothing is recorded.
 func (r *SampleRequest) Resolve(ipc float64, warmOps, sampleOps uint64) {
-	r.ps.ipc = ipc
-	r.ps.warmOps = warmOps
-	r.ps.sampleOps = sampleOps
-	close(r.ps.ready)
+	ps := r.ps
+	ps.c.deliver(ps, func() {
+		ps.ipc = ipc
+		ps.warmOps = warmOps
+		ps.sampleOps = sampleOps
+	})
 }
 
 // Fail aborts the sample; the error surfaces from the Advance or Finish
 // call that settles it.
 func (r *SampleRequest) Fail(err error) {
-	r.ps.err = err
-	close(r.ps.ready)
+	ps := r.ps
+	ps.c.deliver(ps, func() { ps.err = err })
 }
 
 // NewController validates cfg and prepares a controller for one run.
@@ -107,7 +170,7 @@ func NewController(cfg Config, benchmark string, trueIPC float64) (*Controller, 
 	table := phase.MustNewTable(cfg.ThresholdPi * math.Pi)
 	table.CheckCurrentFirst = !cfg.NoCurrentFirst
 	table.Manhattan = cfg.Manhattan
-	return &Controller{
+	c := &Controller{
 		cfg: cfg,
 		res: sampling.Result{
 			Technique: "PGSS",
@@ -118,7 +181,9 @@ func NewController(cfg Config, benchmark string, trueIPC float64) (*Controller, 
 		table:   table,
 		z:       stats.ConfidenceZ(cfg.Confidence),
 		pending: map[int][]*pendingSample{},
-	}, nil
+	}
+	c.cond.L = &c.mu
+	return c, nil
 }
 
 // Windows returns the number of windows consumed so far.
@@ -165,9 +230,8 @@ func (c *Controller) drain(p *phase.Phase) error {
 		return nil
 	}
 	for _, ps := range q {
-		<-ps.ready
-		if ps.err != nil {
-			return ps.err
+		if err := c.wait(ps); err != nil {
+			return err
 		}
 		c.settle(ps)
 	}
@@ -219,9 +283,11 @@ func (c *Controller) Advance(v, mav bbv.Vector, ops, posAfter uint64) (*SampleRe
 	var req *SampleRequest
 	if c.needsSample(p) {
 		if c.cfg.DisableSpread || !p.HasSample || posAfter-p.LastSampleOp >= c.cfg.SpreadOps {
-			ps := &pendingSample{phase: p, ready: make(chan struct{})}
+			ps := c.newPending()
+			ps.phase = p
 			c.inflight = ps
-			req = &SampleRequest{Pos: posAfter, Warm: c.cfg.WarmOps, Sample: c.cfg.SampleOps, ps: ps}
+			req = c.newRequest()
+			*req = SampleRequest{Pos: posAfter, Warm: c.cfg.WarmOps, Sample: c.cfg.SampleOps, ps: ps}
 		} else {
 			c.st.SpreadDeferrals++
 		}
@@ -242,9 +308,8 @@ func (c *Controller) Finish() (sampling.Result, Stats, error) {
 		if ps.settled {
 			continue
 		}
-		<-ps.ready
-		if ps.err != nil {
-			return c.res, c.st, ps.err
+		if err := c.wait(ps); err != nil {
+			return c.res, c.st, err
 		}
 		c.settle(ps)
 	}

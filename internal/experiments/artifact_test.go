@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"pgss/internal/campaign"
+	"pgss/internal/faultinject"
+	"pgss/internal/sampling"
+)
+
+// artifactTestOptions is the shared small-campaign configuration of the
+// differential tests below: short benchmarks, in-memory filesystems.
+func artifactTestOptions() Options {
+	return Options{Scale: 10, TotalOps: 400_000, HashSeed: 42, Quiet: true}
+}
+
+// runGrid executes a benchmark × technique × seed grid on one suite and
+// returns results keyed by spec.
+func runGrid(t *testing.T, s *Suite, techniques []string, seeds int) map[string]sampling.Result {
+	t.Helper()
+	out := map[string]sampling.Result{}
+	for _, sp := range CampaignSpecs([]string{"197.parser", "177.mesa"}, techniques, seeds) {
+		res, err := s.CampaignRun(context.Background(), sp)
+		if err != nil {
+			t.Fatalf("%v: %v", sp, err)
+		}
+		out[sp.String()] = res
+	}
+	return out
+}
+
+// TestStoreBackedCampaignBitIdentical is the correctness anchor of the
+// artifact store: campaign results resolved through the store — cold
+// (recording into it) and warm (a fresh suite re-loading everything,
+// including checkpoint-accelerated PGSS-Live sampling from stored
+// libraries) — must be bit-identical to the storeless path.
+func TestStoreBackedCampaignBitIdentical(t *testing.T) {
+	techniques := []string{"PGSS", "PGSS-Live", "2PSS"}
+	const seeds = 2
+
+	baseline := runGrid(t, MustNewSuite(artifactTestOptions()), techniques, seeds)
+
+	mem := faultinject.NewMemFS()
+	coldOpts := artifactTestOptions()
+	coldOpts.FS = mem
+	coldOpts.ArtifactDir = "store"
+	cold := runGrid(t, MustNewSuite(coldOpts), techniques, seeds)
+	if !reflect.DeepEqual(baseline, cold) {
+		t.Fatal("cold store-backed campaign results differ from storeless results")
+	}
+
+	// Warm: a fresh suite (new process) over the populated store. Every
+	// artifact must come back from disk — recording a second time into the
+	// same content address would be invisible here, so assert the store
+	// actually holds both kinds first.
+	warmSuite := MustNewSuite(coldOpts)
+	kinds := map[string]int{}
+	for _, e := range warmSuite.Artifacts().List() {
+		kinds[string(e.Key.Kind)]++
+	}
+	if kinds["profile"] != 2 || kinds["checkpoints"] != 2 {
+		t.Fatalf("store holds %v, want 2 profiles and 2 checkpoint libraries", kinds)
+	}
+	warm := runGrid(t, warmSuite, techniques, seeds)
+	if !reflect.DeepEqual(baseline, warm) {
+		t.Fatal("warm store-backed campaign results differ from storeless results")
+	}
+
+	// The store must survive its own audit after all that traffic.
+	rep, err := warmSuite.Artifacts().Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Corrupt)+len(rep.Missing) > 0 {
+		t.Fatalf("store verify after campaigns: %s", rep)
+	}
+}
+
+// TestCampaignRunThroughRunner smoke-tests PGSS-Live under the real
+// campaign runner (worker pool, journaling) with a store configured, so
+// the machinery the CLIs compose is covered end to end.
+func TestCampaignRunThroughRunner(t *testing.T) {
+	mem := faultinject.NewMemFS()
+	opts := artifactTestOptions()
+	opts.FS = mem
+	opts.ArtifactDir = "store"
+	s := MustNewSuite(opts)
+
+	specs := CampaignSpecs([]string{"197.parser"}, []string{"PGSS", "PGSS-Live"}, 1)
+	rep, err := campaign.Run(context.Background(), specs, s.CampaignRun, campaign.Options{Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != len(specs) {
+		t.Fatalf("%d/%d runs completed", rep.Completed, len(specs))
+	}
+}

@@ -6,9 +6,11 @@ import (
 
 	"pgss/internal/campaign"
 	"pgss/internal/core"
+	"pgss/internal/cpu"
 	"pgss/internal/parallel"
 	"pgss/internal/pgsserrors"
 	"pgss/internal/sampling"
+	"pgss/internal/workload"
 )
 
 // CampaignTechniques lists the techniques the campaign runner can execute,
@@ -16,7 +18,7 @@ import (
 // vary with the spec seed; the deterministic ones ignore it.
 func CampaignTechniques() []string {
 	return []string{
-		"PGSS", "PGSS-Adaptive", "SMARTS", "TurboSMARTS",
+		"PGSS", "PGSS-Live", "PGSS-Adaptive", "SMARTS", "TurboSMARTS",
 		"SimPoint", "OnlineSimPoint", "Stratified", "2PSS", "RSS", "Full",
 	}
 }
@@ -52,6 +54,31 @@ func (s *Suite) CampaignRun(ctx context.Context, sp campaign.Spec) (sampling.Res
 			return res, err
 		}
 		res, _, err := core.RunContext(ctx, sampling.NewProfileTarget(p), core.DefaultConfig(scale))
+		return res, err
+	case "PGSS-Live":
+		// Checkpoint-accelerated live execution: the benchmark's checkpoint
+		// library (recorded once, shared via the artifact store when one is
+		// configured) lets every detailed sample restore from the nearest
+		// stored checkpoint instead of fast-forwarding from op 0. The
+		// recorded profile supplies only TrueIPC for reporting.
+		lib, err := s.CheckpointLibrary(sp.Benchmark)
+		if err != nil {
+			return sampling.Result{}, err
+		}
+		spec, err := workload.Get(sp.Benchmark)
+		if err != nil {
+			return sampling.Result{}, err
+		}
+		// Cores must be built at the same length as the library's recording
+		// core (the snapshot pins the machine footprint); the profile's
+		// TotalOps is the retired count, which the generator may round.
+		newCore := func() (*cpu.Core, error) { return s.newCore(spec, s.targetOps(spec)) }
+		src, err := parallel.NewLiveSource(lib, s.hash, newCore, p.TotalOps, p.TrueIPC())
+		if err != nil {
+			return sampling.Result{}, err
+		}
+		res, _, err := parallel.Run(ctx, src, core.DefaultConfig(scale),
+			parallel.Options{Shards: s.opts.Shards, SampleWorkers: s.opts.SampleWorkers})
 		return res, err
 	case "PGSS-Adaptive":
 		res, _, err := core.RunAdaptive(sampling.NewProfileTarget(p), core.DefaultAdaptiveConfig(scale))

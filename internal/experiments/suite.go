@@ -12,8 +12,11 @@ import (
 	"sort"
 	"sync"
 
+	"pgss/internal/artifact"
 	"pgss/internal/bbv"
 	"pgss/internal/campaign"
+	"pgss/internal/checkpoint"
+	"pgss/internal/core"
 	"pgss/internal/cpu"
 	"pgss/internal/faultinject"
 	"pgss/internal/profile"
@@ -38,7 +41,15 @@ type Options struct {
 	// ignored when TotalOps is set.
 	SizeFactor float64
 	// CacheDir persists recorded profiles between runs ("" = no cache).
+	// Superseded by ArtifactDir; kept for existing per-run cache layouts.
 	CacheDir string
+	// ArtifactDir roots a content-addressed artifact store (see
+	// internal/artifact) that dedupes recorded profiles AND checkpoint
+	// libraries across runs, processes and campaigns ("" = no store). When
+	// set it takes precedence over CacheDir, and concurrent campaign
+	// workers — including ones in other processes sharing the same root —
+	// record each missing artifact exactly once machine-wide.
+	ArtifactDir string
 	// HashSeed fixes the BBV hash bit selection.
 	HashSeed int64
 	// Quiet suppresses progress output to stderr.
@@ -68,12 +79,15 @@ func DefaultOptions() Options {
 // parallel, and a profile missing from the cache records exactly once
 // however many workers ask for it.
 type Suite struct {
-	opts Options
-	hash *bbv.Hash
+	opts  Options
+	hash  *bbv.Hash
+	store *artifact.Store // nil unless Options.ArtifactDir is set
 
 	mu        sync.Mutex
 	profiles  map[profileKey]*profile.Profile
 	recording map[profileKey]*recordJob
+	libraries map[libraryKey]*checkpoint.Library
+	libFlight map[libraryKey]*libraryJob
 }
 
 // profileKey identifies one memoised recording: ablations that re-record
@@ -94,6 +108,20 @@ type recordJob struct {
 	err  error
 }
 
+// libraryKey identifies one memoised checkpoint library.
+type libraryKey struct {
+	name   string
+	ops    uint64
+	stride uint64
+}
+
+// libraryJob is the singleflight marker of one library being recorded.
+type libraryJob struct {
+	done chan struct{}
+	lib  *checkpoint.Library
+	err  error
+}
+
 // NewSuite builds a Suite.
 func NewSuite(opts Options) (*Suite, error) {
 	if opts.Scale == 0 {
@@ -106,13 +134,29 @@ func NewSuite(opts Options) (*Suite, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Suite{
+	s := &Suite{
 		opts:      opts,
 		hash:      hash,
 		profiles:  map[profileKey]*profile.Profile{},
 		recording: map[profileKey]*recordJob{},
-	}, nil
+		libraries: map[libraryKey]*checkpoint.Library{},
+		libFlight: map[libraryKey]*libraryJob{},
+	}
+	if opts.ArtifactDir != "" {
+		s.store, err = artifact.Open(opts.ArtifactDir, artifact.Options{
+			FS:   opts.FS,
+			Logf: s.logf,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
 }
+
+// Artifacts returns the suite's artifact store (nil when ArtifactDir is
+// unset).
+func (s *Suite) Artifacts() *artifact.Store { return s.store }
 
 // MustNewSuite is NewSuite that panics on error.
 func MustNewSuite(opts Options) *Suite {
@@ -294,11 +338,39 @@ func (s *Suite) recordParallel(names []string) error {
 	return rep.FirstError()
 }
 
+// artifactKey maps a profile memo key to its content address in the
+// artifact store: everything that determines the recorded bytes goes in,
+// so equal keys across processes and campaigns dedupe to one recording.
+func (s *Suite) artifactKey(key profileKey) artifact.Key {
+	cfg := profile.DefaultConfig()
+	return artifact.Key{
+		Kind:       artifact.KindProfile,
+		Benchmark:  key.name,
+		Ops:        key.ops,
+		HashBits:   key.bits,
+		HashSeed:   s.opts.HashSeed,
+		FineOps:    cfg.FineOps,
+		BBVOps:     cfg.BBVOps,
+		MAVBits:    cfg.MAVBits,
+		MAVSeed:    cfg.MAVSeed,
+		CoreConfig: artifact.ConfigLabel(cpu.DefaultCoreConfig()),
+		Schema:     schemaVersion,
+	}
+}
+
 // recordOne loads or records one profile variant without touching the
-// shared profile map (parallel-safe). A corrupt cache file — truncated
-// write, schema drift, bit rot — is not fatal: it is logged, deleted and
-// re-recorded (self-healing cache).
+// shared profile map (parallel-safe). With an artifact store configured
+// the store does the resolving (content-addressed, singleflight across
+// processes); otherwise the legacy per-suite cache file path applies. A
+// corrupt cache file — truncated write, schema drift, bit rot — is not
+// fatal either way: it is logged, deleted and re-recorded (self-healing
+// cache).
 func (s *Suite) recordOne(spec *workload.Spec, key profileKey) (*profile.Profile, error) {
+	if s.store != nil {
+		return s.store.Profile(s.artifactKey(key), func() (*profile.Profile, error) {
+			return s.recordFresh(spec, key)
+		})
+	}
 	if path := s.cachePath(key); path != "" {
 		p, err := profile.LoadFS(s.opts.FS, path)
 		switch {
@@ -314,27 +386,7 @@ func (s *Suite) recordOne(spec *workload.Spec, key profileKey) (*profile.Profile
 			}
 		}
 	}
-	hash := s.hash
-	if key.bits != s.hash.Width() {
-		var err error
-		if hash, err = bbv.NewHash(key.bits, s.opts.HashSeed); err != nil {
-			return nil, err
-		}
-	}
-	s.logf("recording %s (%d ops, %d-bit hash)...\n", key.name, key.ops, key.bits)
-	prog, err := spec.Build(key.ops)
-	if err != nil {
-		return nil, err
-	}
-	m, err := cpu.NewMachine(prog)
-	if err != nil {
-		return nil, err
-	}
-	core, err := cpu.NewCore(m, cpu.DefaultCoreConfig())
-	if err != nil {
-		return nil, err
-	}
-	p, err := profile.RecordContext(s.ctx(), core, hash, profile.DefaultConfig())
+	p, err := s.recordFresh(spec, key)
 	if err != nil {
 		return nil, err
 	}
@@ -344,6 +396,111 @@ func (s *Suite) recordOne(spec *workload.Spec, key profileKey) (*profile.Profile
 		}
 	}
 	return p, nil
+}
+
+// recordFresh runs the full detailed recording pass for one profile
+// variant — the expensive part both cache layers guard.
+func (s *Suite) recordFresh(spec *workload.Spec, key profileKey) (*profile.Profile, error) {
+	hash := s.hash
+	if key.bits != s.hash.Width() {
+		var err error
+		if hash, err = bbv.NewHash(key.bits, s.opts.HashSeed); err != nil {
+			return nil, err
+		}
+	}
+	s.logf("recording %s (%d ops, %d-bit hash)...\n", key.name, key.ops, key.bits)
+	c, err := s.newCore(spec, key.ops)
+	if err != nil {
+		return nil, err
+	}
+	return profile.RecordContext(s.ctx(), c, hash, profile.DefaultConfig())
+}
+
+// newCore builds a fresh detailed core over the benchmark program at the
+// given length.
+func (s *Suite) newCore(spec *workload.Spec, ops uint64) (*cpu.Core, error) {
+	prog, err := spec.Build(ops)
+	if err != nil {
+		return nil, err
+	}
+	m, err := cpu.NewMachine(prog)
+	if err != nil {
+		return nil, err
+	}
+	return cpu.NewCore(m, cpu.DefaultCoreConfig())
+}
+
+// checkpointStride is the library stride for checkpoint-accelerated
+// sampling at the suite's scale: a few fast-forward periods apart, so a
+// detailed sample restores from a nearby checkpoint instead of replaying
+// from op 0, while the library stays a small multiple of the shard count.
+func (s *Suite) checkpointStride() uint64 {
+	return 4 * core.DefaultConfig(s.Scale()).FFOps
+}
+
+// libraryArtifactKey is the content address of a checkpoint library.
+func (s *Suite) libraryArtifactKey(key libraryKey) artifact.Key {
+	return artifact.Key{
+		Kind:       artifact.KindCheckpoints,
+		Benchmark:  key.name,
+		Ops:        key.ops,
+		StrideOps:  key.stride,
+		CoreConfig: artifact.ConfigLabel(cpu.DefaultCoreConfig()),
+		Schema:     schemaVersion,
+	}
+}
+
+// CheckpointLibrary returns the checkpoint library of the named benchmark
+// at the suite's default length and stride, recording it (one functional
+// pass) on first use. Like Profile it is memoised, singleflighted within
+// the process, and — when an artifact store is configured — deduped
+// machine-wide and persisted across runs.
+func (s *Suite) CheckpointLibrary(name string) (*checkpoint.Library, error) {
+	spec, err := workload.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	key := libraryKey{name: name, ops: s.targetOps(spec), stride: s.checkpointStride()}
+
+	s.mu.Lock()
+	if lib, ok := s.libraries[key]; ok {
+		s.mu.Unlock()
+		return lib, nil
+	}
+	if job, ok := s.libFlight[key]; ok {
+		s.mu.Unlock()
+		<-job.done
+		return job.lib, job.err
+	}
+	job := &libraryJob{done: make(chan struct{})}
+	s.libFlight[key] = job
+	s.mu.Unlock()
+
+	job.lib, job.err = s.resolveLibrary(spec, key)
+	s.mu.Lock()
+	if job.err == nil {
+		s.libraries[key] = job.lib
+	}
+	delete(s.libFlight, key)
+	s.mu.Unlock()
+	close(job.done)
+	return job.lib, job.err
+}
+
+// resolveLibrary records (or store-loads) one checkpoint library.
+func (s *Suite) resolveLibrary(spec *workload.Spec, key libraryKey) (*checkpoint.Library, error) {
+	record := func() (*checkpoint.Library, error) {
+		s.logf("checkpointing %s (%d ops, stride %d)...\n", key.name, key.ops, key.stride)
+		c, err := s.newCore(spec, key.ops)
+		if err != nil {
+			return nil, err
+		}
+		return checkpoint.Record(c, key.stride, key.ops)
+	}
+	if s.store != nil {
+		return s.store.Library(s.libraryArtifactKey(key), record)
+	}
+	return record()
 }
 
 // shortName strips the SPEC number prefix for compact table headers.

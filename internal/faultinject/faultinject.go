@@ -60,6 +60,11 @@ type FS interface {
 	MkdirAll(name string, perm fs.FileMode) error
 	// Stat returns metadata for name.
 	Stat(name string) (fs.FileInfo, error)
+	// ReadDir lists the entries of directory name sorted by filename, as
+	// os.ReadDir does. Scanners (the artifact store's index rebuild and
+	// garbage collector) use it to enumerate files without trusting any
+	// sidecar metadata.
+	ReadDir(name string) ([]fs.DirEntry, error)
 }
 
 // Open opens name read-only on fsys (nil fsys = the real OS).
@@ -105,3 +110,5 @@ func (osFS) Remove(name string) error { return os.Remove(name) }
 func (osFS) MkdirAll(name string, perm fs.FileMode) error { return os.MkdirAll(name, perm) }
 
 func (osFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }

@@ -222,6 +222,13 @@ func (inj *Injector) MkdirAll(name string, perm fs.FileMode) error {
 	return inj.inner.MkdirAll(name, perm)
 }
 
+// ReadDir implements FS (never faulted: directory listing is a read-only
+// scan and faulting it adds no crash-consistency coverage — the interesting
+// faults live on the write path).
+func (inj *Injector) ReadDir(name string) ([]fs.DirEntry, error) {
+	return inj.inner.ReadDir(name)
+}
+
 // Stat implements FS.
 func (inj *Injector) Stat(name string) (fs.FileInfo, error) {
 	if _, err := inj.check(OpStat, name); err != nil {

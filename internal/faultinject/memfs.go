@@ -5,6 +5,8 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -144,6 +146,65 @@ func (m *MemFS) MkdirAll(name string, perm fs.FileMode) error {
 	}
 	return nil
 }
+
+// ReadDir implements FS: the direct children of name (files and
+// subdirectories), sorted by filename like os.ReadDir. Listing reflects the
+// volatile layer — exactly what a running process sees.
+func (m *MemFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = filepath.Clean(name)
+	if !m.dirs[name] {
+		return nil, &fs.PathError{Op: "readdir", Path: name, Err: fs.ErrNotExist}
+	}
+	prefix := name + string(filepath.Separator)
+	if name == "." {
+		prefix = ""
+	}
+	seen := map[string]fs.DirEntry{}
+	for path, b := range m.volatile {
+		if !strings.HasPrefix(path, prefix) || path == name {
+			continue
+		}
+		rest := path[len(prefix):]
+		if i := strings.IndexByte(rest, filepath.Separator); i >= 0 {
+			// A file deeper down implies an intermediate directory child.
+			seen[rest[:i]] = memDirEntry{memInfo{name: rest[:i], dir: true}}
+			continue
+		}
+		seen[rest] = memDirEntry{memInfo{name: rest, size: int64(len(b))}}
+	}
+	for dir := range m.dirs {
+		if !strings.HasPrefix(dir, prefix) || dir == name {
+			continue
+		}
+		rest := dir[len(prefix):]
+		if i := strings.IndexByte(rest, filepath.Separator); i >= 0 {
+			rest = rest[:i]
+		}
+		if _, ok := seen[rest]; !ok {
+			seen[rest] = memDirEntry{memInfo{name: rest, dir: true}}
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]fs.DirEntry, len(names))
+	for i, n := range names {
+		out[i] = seen[n]
+	}
+	return out, nil
+}
+
+// memDirEntry adapts memInfo to fs.DirEntry.
+type memDirEntry struct{ info memInfo }
+
+func (e memDirEntry) Name() string               { return e.info.name }
+func (e memDirEntry) IsDir() bool                { return e.info.dir }
+func (e memDirEntry) Type() fs.FileMode          { return e.info.Mode().Type() }
+func (e memDirEntry) Info() (fs.FileInfo, error) { return e.info, nil }
 
 // Stat implements FS.
 func (m *MemFS) Stat(name string) (fs.FileInfo, error) {

@@ -26,6 +26,10 @@ const (
 	profileMagic   = "PGSSPROF"
 	profileVersion = 2
 
+	// BinaryMagic is the container magic, exported so multi-format stores
+	// (the artifact store) can sniff profile containers without decoding.
+	BinaryMagic = profileMagic
+
 	tagProfileMeta   = 1
 	tagProfileCycles = 2
 	tagProfileBBVs   = 3

@@ -242,6 +242,10 @@ type LiveTarget struct {
 	total   uint64          // declared length; 0 = run to halt (TotalOps unknown)
 	trueIPC float64
 	pos     uint64
+	// scratch/mavScratch back the returned Window's BBV/MAV (owned by the
+	// target, valid until the next NextWindow call), like ProfileTarget.
+	scratch    bbv.Vector
+	mavScratch bbv.Vector
 }
 
 // NewLiveTarget wraps a core. totalOps may be 0 when unknown; trueIPC may
@@ -340,9 +344,15 @@ func (t *LiveTarget) NextWindow(ops, warm, sample uint64) (Window, bool) {
 		segment(rem, false)
 	}
 	w.Ops = done
-	w.BBV = t.tracker.TakeVector()
+	if t.scratch == nil {
+		t.scratch = make(bbv.Vector, t.tracker.Hash().Buckets())
+	}
+	w.BBV = t.tracker.TakeVectorInto(t.scratch)
 	if t.mav != nil {
-		w.MAV = t.mav.TakeVector()
+		if t.mavScratch == nil {
+			t.mavScratch = make(bbv.Vector, t.mav.Hash().Buckets())
+		}
+		w.MAV = t.mav.TakeVectorInto(t.mavScratch)
 	}
 	if done == 0 {
 		return Window{}, false
