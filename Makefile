@@ -45,20 +45,26 @@ lint: lint-custom
 lint-custom:
 	$(GO) run ./cmd/pgss-lint ./...
 
-# Placeholder until an analyzer ships automated fixes; pgss-lint -fix exits
-# with the same message.
+# Apply every suggested fix (errwrap %v->%w rewrites, exhaustive case
+# stubs), then prove the fixers converged: a second pass that still wants
+# to edit anything is an analyzer bug. The second run tolerates exit 1
+# (unfixable findings may legitimately remain) but fails on a non-empty
+# diff.
 lint-fix:
-	@echo "lint-fix: no analyzer ships automated fixes yet; fix by hand or"
-	@echo "lint-fix: suppress a justified case with '//pgss:allow <analyzer> <reason>'"
-	@exit 1
+	$(GO) run ./cmd/pgss-lint -fix ./... || true
+	@out="$$($(GO) run ./cmd/pgss-lint -fix -diff ./... | grep '^[-+@]' || true)"; \
+	if [ -n "$$out" ]; then \
+		echo "lint-fix: not idempotent, second pass still produces edits:"; \
+		echo "$$out"; exit 1; fi
 
 # Known-vulnerability scan. govulncheck needs network access for the vuln DB,
-# so locally it runs only when installed; CI runs it in a non-blocking job.
+# so locally it runs only when installed; CI runs it in a blocking job at a
+# pinned version.
 vuln:
 	@if command -v govulncheck >/dev/null 2>&1; then \
 		govulncheck ./...; \
 	else \
-		echo "vuln: govulncheck not installed; skipping (CI runs it non-blocking)"; fi
+		echo "vuln: govulncheck not installed; skipping (CI runs it)"; fi
 
 # The campaign runner and the suite's singleflight recording are concurrent;
 # the race detector is part of the acceptance bar, not an optional extra.

@@ -8,7 +8,10 @@
 //
 // With no package arguments it analyzes ./.... Exit status is 1 when any
 // diagnostic survives suppression filtering, 2 on operational failure.
-// Findings are suppressed in source with
+// -fix applies the suggested fixes analyzers attach (errwrap's %v→%w
+// rewrite, exhaustive's missing-case insertion), atomically and
+// gofmt-verified; -fix -diff prints the edits as a unified diff without
+// writing. Findings are suppressed in source with
 //
 //	//pgss:allow <analyzer> <reason>
 //
@@ -20,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"pgss/internal/analysis"
@@ -39,7 +44,8 @@ func run(args []string, stdout, stderr *os.File) int {
 		skip    = fs.String("skip", "", "comma-separated analyzers to skip")
 		jsonOut = fs.Bool("json", false, "emit diagnostics as JSON")
 		dir     = fs.String("C", ".", "change to `dir` before resolving patterns")
-		fixStub = fs.Bool("fix", false, "apply suggested fixes (not yet implemented)")
+		fix     = fs.Bool("fix", false, "apply suggested fixes to the source files")
+		diff    = fs.Bool("diff", false, "with -fix: print the edits as a unified diff instead of writing")
 		verbose = fs.Bool("v", false, "log per-package progress")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -50,13 +56,9 @@ func run(args []string, stdout, stderr *os.File) int {
 			fmt.Fprintf(stdout, "%-15s %s\n", an.Name, an.Doc)
 		}
 		fmt.Fprintf(stdout, "\nengine scope: %s\n", strings.Join(analysis.EnginePaths(), " "))
+		fmt.Fprintf(stdout, "flow scope:   %s pgss/cmd/...\n", strings.Join(analysis.FlowPaths(), " "))
 		return 0
 	}
-	if *fixStub {
-		fmt.Fprintln(stderr, "pgss-lint: -fix is a stub; no analyzer ships fixes yet")
-		return 2
-	}
-
 	analyzers, err := selectAnalyzers(*only, *skip)
 	if err != nil {
 		fmt.Fprintf(stderr, "pgss-lint: %v\n", err)
@@ -88,6 +90,51 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 	}
 
+	if *fix || *diff {
+		outcome, err := analysis.ApplyFixes(diags)
+		if err != nil {
+			fmt.Fprintf(stderr, "pgss-lint: %v\n", err)
+			return 2
+		}
+		if *diff {
+			// Dry run: render the edits, resolve nothing. Findings keep
+			// their normal reporting and exit status below.
+			for _, filename := range sortedFilenames(outcome.Files) {
+				oldSrc, err := os.ReadFile(filename)
+				if err != nil {
+					fmt.Fprintf(stderr, "pgss-lint: %v\n", err)
+					return 2
+				}
+				display := filename
+				if wd, err := os.Getwd(); err == nil {
+					if rel, err := filepath.Rel(wd, filename); err == nil && !strings.HasPrefix(rel, "..") {
+						display = rel
+					}
+				}
+				fmt.Fprint(stdout, analysis.Unified(display, oldSrc, outcome.Files[filename]))
+			}
+		} else {
+			if err := analysis.WriteFiles(outcome.Files); err != nil {
+				fmt.Fprintf(stderr, "pgss-lint: %v\n", err)
+				return 2
+			}
+			if outcome.Applied > 0 {
+				fmt.Fprintf(stderr, "pgss-lint: applied %d fix(es) in %d file(s)\n",
+					outcome.Applied, len(outcome.Files))
+			}
+			// Fixed findings are resolved; unfixable and overlap-skipped
+			// ones remain (a re-run picks skipped ones up).
+			var remaining []analysis.Diagnostic
+			for _, d := range diags {
+				if d.Fix == nil {
+					remaining = append(remaining, d)
+				}
+			}
+			remaining = append(remaining, outcome.Skipped...)
+			diags = remaining
+		}
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
@@ -105,6 +152,15 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 1
 	}
 	return 0
+}
+
+func sortedFilenames(files map[string][]byte) []string {
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 func selectAnalyzers(only, skip string) ([]*analysis.Analyzer, error) {

@@ -44,9 +44,13 @@ func capture(t *testing.T, name string) (*os.File, func() string) {
 }
 
 // TestRepoIsClean is the dogfooding gate: the full analyzer suite over the
-// whole module must report nothing. If this fails, either new code broke
-// an invariant (fix it or add a justified //pgss:allow) or an analyzer
-// grew a false positive (fix the analyzer).
+// whole module must report nothing. Since the dataflow tier this covers
+// more than the nine engine packages — lockorder and leaktrack also run
+// over internal/artifact, internal/chaos and every cmd/ package (the
+// flow scope), and exhaustive checks every registered enum switch
+// module-wide. If this fails, either new code broke an invariant (fix it
+// or add a justified //pgss:allow) or an analyzer grew a false positive
+// (fix the analyzer).
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped with -short")
@@ -69,13 +73,24 @@ func TestListAnalyzers(t *testing.T) {
 		t.Fatalf("-list exited %d, want 0", code)
 	}
 	out := readOut()
-	for _, name := range []string{"nodeterminism", "maporder", "errwrap", "ctxflow", "mutexcopy", "goroutines"} {
+	all := []string{
+		"nodeterminism", "maporder", "errwrap", "ctxflow", "mutexcopy",
+		"goroutines", "ioatomic", "lockorder", "leaktrack", "fpdeterminism",
+		"exhaustive",
+	}
+	if len(all) != 11 {
+		t.Fatalf("suite should list 11 analyzers, test names %d", len(all))
+	}
+	for _, name := range all {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, out)
 		}
 	}
 	if !strings.Contains(out, "pgss/internal/core") {
 		t.Errorf("-list output missing engine scope:\n%s", out)
+	}
+	if !strings.Contains(out, "flow scope") || !strings.Contains(out, "pgss/internal/artifact") {
+		t.Errorf("-list output missing flow scope:\n%s", out)
 	}
 }
 

@@ -47,10 +47,36 @@ type Pass struct {
 }
 
 // Diagnostic is one finding, positioned and attributed to its analyzer.
+// A diagnostic may carry a SuggestedFix; the driver applies fixes with
+// -fix (see fix.go).
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Fix      *SuggestedFix `json:",omitempty"`
+}
+
+// SuggestedFix is a machine-applicable repair for one diagnostic. Edits
+// are expressed as byte-offset ranges into the named files so the fix
+// engine needs no AST; they must not overlap within one fix.
+type SuggestedFix struct {
+	Message string
+	Edits   []Edit
+}
+
+// Edit replaces file bytes [Start, End) with NewText. Start == End is a
+// pure insertion.
+type Edit struct {
+	Filename   string
+	Start, End int
+	NewText    string
+}
+
+// TextEdit is the position-based form analyzers report; Reportf
+// resolves it to byte offsets against the pass's FileSet.
+type TextEdit struct {
+	Pos, End token.Pos
+	NewText  string
 }
 
 func (d Diagnostic) String() string {
@@ -63,6 +89,29 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportFix records a finding at pos carrying a suggested fix. The
+// edits are resolved to byte offsets immediately, so the fix survives
+// serialization (-json) and needs no FileSet to apply.
+func (p *Pass) ReportFix(pos token.Pos, fixMsg string, edits []TextEdit, format string, args ...any) {
+	fix := &SuggestedFix{Message: fixMsg}
+	for _, e := range edits {
+		start := p.Fset.Position(e.Pos)
+		end := p.Fset.Position(e.End)
+		fix.Edits = append(fix.Edits, Edit{
+			Filename: start.Filename,
+			Start:    start.Offset,
+			End:      end.Offset,
+			NewText:  e.NewText,
+		})
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Fix:      fix,
 	})
 }
 

@@ -1,0 +1,578 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFunc parses src (a file body) and builds the CFG of the function
+// named name.
+func buildFunc(t *testing.T, src, name string) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "test.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Name.Name == name {
+			return Build(fn.Body)
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil
+}
+
+// exitReachable reports whether Exit is reachable from Entry.
+func exitReachable(g *Graph) bool {
+	for _, b := range g.ReversePostorder() {
+		if b == g.Exit {
+			return true
+		}
+	}
+	return false
+}
+
+// countKind counts reachable blocks whose Kind matches prefix.
+func countKind(g *Graph, prefix string) int {
+	n := 0
+	for _, b := range g.ReversePostorder() {
+		if strings.HasPrefix(b.Kind, prefix) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestStraightLine(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() { x := 1; _ = x }`, "f")
+	rpo := g.ReversePostorder()
+	if len(rpo) != 2 { // entry, exit
+		t.Fatalf("want 2 reachable blocks, got %d:\n%s", len(rpo), g)
+	}
+	if !exitReachable(g) {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestIfElseJoin(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) int {
+	x := 0
+	if c {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}`, "f")
+	if got := countKind(g, "if.then"); got != 1 {
+		t.Errorf("if.then blocks = %d, want 1\n%s", got, g)
+	}
+	if got := countKind(g, "if.else"); got != 1 {
+		t.Errorf("if.else blocks = %d, want 1\n%s", got, g)
+	}
+	// The entry block must branch on the condition: one positive edge,
+	// one negated.
+	var pos, neg int
+	for _, e := range g.Entry.Succs {
+		if e.Cond == nil {
+			continue
+		}
+		if e.Negate {
+			neg++
+		} else {
+			pos++
+		}
+	}
+	if pos != 1 || neg != 1 {
+		t.Errorf("entry cond edges pos=%d neg=%d, want 1/1\n%s", pos, neg, g)
+	}
+}
+
+func TestIfWithoutElseNegatedEdge(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(err error) error {
+	if err != nil {
+		return err
+	}
+	return nil
+}`, "f")
+	// Head must have a negated edge straight to the join (the err == nil
+	// path) — the edge refinement leaktrack depends on.
+	found := false
+	for _, b := range g.ReversePostorder() {
+		for _, e := range b.Succs {
+			if e.Cond != nil && e.Negate && strings.HasPrefix(e.To.Kind, "if.join") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no negated edge to if.join:\n%s", g)
+	}
+}
+
+func TestForLoopBackEdge(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() {
+	for i := 0; i < 10; i++ {
+		_ = i
+	}
+}`, "f")
+	// A back edge into for.head must exist.
+	var head *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "for.head" {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatalf("no for.head block:\n%s", g)
+	}
+	if len(head.Preds) < 2 {
+		t.Fatalf("for.head has %d preds, want >=2 (entry + back edge):\n%s", len(head.Preds), g)
+	}
+	if !exitReachable(g) {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestInfiniteLoopWithBreak(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() {
+	for {
+		if done() {
+			break
+		}
+	}
+}`, "f")
+	if !exitReachable(g) {
+		t.Fatalf("break does not reach exit:\n%s", g)
+	}
+}
+
+func TestLabeledBreakExitsBothLoops(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(m [][]int) {
+outer:
+	for _, row := range m {
+		for _, v := range row {
+			if v == 0 {
+				break outer
+			}
+		}
+		use(row)
+	}
+	done()
+}`, "f")
+	// The break-outer edge must land in the *outer* range's exit block,
+	// not the inner one: find the block holding the BranchStmt and check
+	// its successor is the exit of the first (outer) range.
+	var outerExit *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "range.exit" {
+			outerExit = b // first range.exit created is the outer one
+			break
+		}
+	}
+	if outerExit == nil {
+		t.Fatalf("no range.exit:\n%s", g)
+	}
+	found := false
+	for _, b := range g.ReversePostorder() {
+		for _, n := range b.Nodes {
+			if br, ok := n.(*ast.BranchStmt); ok && br.Label != nil {
+				for _, e := range b.Succs {
+					if e.To == outerExit {
+						found = true
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("labeled break does not target outer range.exit:\n%s", g)
+	}
+}
+
+func TestLabeledContinue(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(m [][]int) {
+outer:
+	for _, row := range m {
+		for _, v := range row {
+			if v == 0 {
+				continue outer
+			}
+		}
+	}
+}`, "f")
+	if !exitReachable(g) {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+	// continue outer must edge back to the outer range head.
+	var outerHead *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "range.head" {
+			outerHead = b
+			break
+		}
+	}
+	found := false
+	for _, b := range g.ReversePostorder() {
+		for _, n := range b.Nodes {
+			if br, ok := n.(*ast.BranchStmt); ok && br.Tok == token.CONTINUE && br.Label != nil {
+				for _, e := range b.Succs {
+					if e.To == outerHead {
+						found = true
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("labeled continue does not target outer range.head:\n%s", g)
+	}
+}
+
+func TestSwitchFallthroughAndDefault(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(x int) int {
+	switch x {
+	case 1:
+		x++
+		fallthrough
+	case 2:
+		x += 2
+	default:
+		x = 0
+	}
+	return x
+}`, "f")
+	// case 1 must edge into case 2's block (fallthrough), and there is no
+	// head->exit edge because a default exists.
+	var caseBlocks []*Block
+	for _, b := range g.Blocks {
+		if b.Kind == "switch.case" {
+			caseBlocks = append(caseBlocks, b)
+		}
+	}
+	if len(caseBlocks) != 2 {
+		t.Fatalf("switch.case blocks = %d, want 2:\n%s", len(caseBlocks), g)
+	}
+	fall := false
+	for _, e := range caseBlocks[0].Succs {
+		if e.To == caseBlocks[1] {
+			fall = true
+		}
+	}
+	if !fall {
+		t.Fatalf("fallthrough edge missing:\n%s", g)
+	}
+}
+
+func TestSwitchNoDefaultFallsToExit(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(x int) {
+	switch x {
+	case 1:
+		use(x)
+	}
+	done()
+}`, "f")
+	var head *Block
+	for _, b := range g.ReversePostorder() {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.SwitchStmt); ok {
+				head = b
+			}
+		}
+	}
+	if head == nil {
+		t.Fatalf("no switch head:\n%s", g)
+	}
+	toExit := false
+	for _, e := range head.Succs {
+		if e.To.Kind == "switch.exit" {
+			toExit = true
+		}
+	}
+	if !toExit {
+		t.Fatalf("no implicit head->exit edge without default:\n%s", g)
+	}
+}
+
+func TestSelectClauses(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case b <- 1:
+		return 1
+	}
+}`, "f")
+	if got := countKind(g, "select.case"); got != 2 {
+		t.Fatalf("select.case blocks = %d, want 2:\n%s", got, g)
+	}
+	if !exitReachable(g) {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestEmptySelectBlocksForever(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() {
+	select {}
+}`, "f")
+	if exitReachable(g) {
+		t.Fatalf("empty select should not reach exit:\n%s", g)
+	}
+}
+
+func TestRangeOverChannel(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(ch chan int) int {
+	sum := 0
+	for v := range ch {
+		sum += v
+	}
+	return sum
+}`, "f")
+	var head *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "range.head" {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatalf("no range.head:\n%s", g)
+	}
+	// Head edges: body and exit (channel may close before any value).
+	if len(head.Succs) != 2 {
+		t.Fatalf("range.head has %d succs, want 2:\n%s", len(head.Succs), g)
+	}
+	if !exitReachable(g) {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestDeferRecorded(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() error {
+	f, err := open()
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return work(f)
+}`, "f")
+	if len(g.Defers) != 1 {
+		t.Fatalf("defers = %d, want 1:\n%s", len(g.Defers), g)
+	}
+	// The defer's block must NOT be on the early-return path: the block
+	// holding the early return must not be able to reach the defer.
+	var deferBlk *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if n == g.Defers[0] {
+				deferBlk = b
+			}
+		}
+	}
+	if deferBlk == nil {
+		t.Fatalf("defer not placed in any block:\n%s", g)
+	}
+}
+
+func TestGotoBackward(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() {
+retry:
+	if !ok() {
+		goto retry
+	}
+}`, "f")
+	if !exitReachable(g) {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+	// The label block must have >= 2 preds (entry path + goto).
+	var lbl *Block
+	for _, b := range g.Blocks {
+		if strings.HasPrefix(b.Kind, "label.") {
+			lbl = b
+		}
+	}
+	if lbl == nil || len(lbl.Preds) < 2 {
+		t.Fatalf("label block missing goto back edge:\n%s", g)
+	}
+}
+
+func TestPanicTerminates(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) {
+	if !c {
+		panic("bad")
+	}
+	done()
+}`, "f")
+	// The block containing panic must have no successors.
+	for _, b := range g.ReversePostorder() {
+		for _, n := range b.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					if len(b.Succs) != 0 {
+						t.Fatalf("panic block has successors:\n%s", g)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSolveLiveAcquire runs a tiny forward may-analysis — "resource r is
+// open" — over an early-return function, checking that facts reach the
+// right returns. This pins the solver contract the real analyzers use.
+func TestSolveLiveAcquire(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() error {
+	r := acquire()
+	if bad() {
+		return errBad
+	}
+	r.Close()
+	return nil
+}`, "f")
+
+	type fact = map[string]bool
+	isAcquire := func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		return ok && len(as.Lhs) == 1
+	}
+	isClose := func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		return ok && sel.Sel.Name == "Close"
+	}
+	transfer := func(b *Block, in fact) fact {
+		out := fact{}
+		for k := range in {
+			out[k] = true
+		}
+		b.Visit(func(n ast.Node) {
+			if isAcquire(n) {
+				out["r"] = true
+			}
+			if isClose(n) {
+				delete(out, "r")
+			}
+		})
+		return out
+	}
+	in := Solve(g, Problem[fact]{
+		Dir:      Forward,
+		Boundary: fact{},
+		Init:     fact{},
+		Transfer: transfer,
+		Join: func(a, b fact) fact {
+			m := fact{}
+			for k := range a {
+				m[k] = true
+			}
+			for k := range b {
+				m[k] = true
+			}
+			return m
+		},
+		Equal: func(a, b fact) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+	})
+
+	// At every return statement, compute the fact just before it.
+	var atEarlyReturn, atFinalReturn fact
+	for _, b := range g.ReversePostorder() {
+		f := fact{}
+		for k := range in[b] {
+			f[k] = true
+		}
+		for _, n := range b.Nodes {
+			if ret, ok := n.(*ast.ReturnStmt); ok {
+				if len(ret.Results) == 1 {
+					if id, ok := ret.Results[0].(*ast.Ident); ok && id.Name == "errBad" {
+						atEarlyReturn = cloneFact(f)
+					} else if id.Name == "nil" {
+						atFinalReturn = cloneFact(f)
+					}
+				}
+			}
+			if isAcquire(n) {
+				f["r"] = true
+			}
+			if isClose(n) {
+				delete(f, "r")
+			}
+		}
+	}
+	if atEarlyReturn == nil || !atEarlyReturn["r"] {
+		t.Errorf("resource not live at early return: %v", atEarlyReturn)
+	}
+	if atFinalReturn == nil || atFinalReturn["r"] {
+		t.Errorf("resource still live at final return: %v", atFinalReturn)
+	}
+}
+
+func cloneFact(f map[string]bool) map[string]bool {
+	m := map[string]bool{}
+	for k := range f {
+		m[k] = true
+	}
+	return m
+}
+
+func TestShallowDoesNotExposeBodies(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) {
+	if c {
+		inBody()
+	}
+}`, "f")
+	// Walking entry's nodes through Shallow must never reach the call
+	// inside the if body.
+	for _, n := range g.Entry.Nodes {
+		for _, sub := range Shallow(n) {
+			ast.Inspect(sub, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "inBody" {
+						t.Errorf("Shallow leaked if-body call into head block")
+					}
+				}
+				return true
+			})
+		}
+	}
+}

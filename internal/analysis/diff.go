@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// Unified renders a unified diff (3 context lines) between old and new
+// contents of the named file, in the familiar `-fix -diff` dry-run
+// shape. Pure stdlib: a plain LCS line diff — our source files are
+// small, so the quadratic table is irrelevant.
+func Unified(filename string, oldSrc, newSrc []byte) string {
+	if bytes.Equal(oldSrc, newSrc) {
+		return ""
+	}
+	a := splitLines(oldSrc)
+	b := splitLines(newSrc)
+
+	// LCS table.
+	n, m := len(a), len(b)
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+
+	// Emit ops: ' ' keep, '-' delete, '+' insert.
+	type op struct {
+		kind byte
+		line string
+	}
+	var ops []op
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i] == b[j]:
+			ops = append(ops, op{' ', a[i]})
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			ops = append(ops, op{'-', a[i]})
+			i++
+		default:
+			ops = append(ops, op{'+', b[j]})
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		ops = append(ops, op{'-', a[i]})
+	}
+	for ; j < m; j++ {
+		ops = append(ops, op{'+', b[j]})
+	}
+
+	// Group into hunks with up to 3 lines of context.
+	const ctx = 3
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- a/%s\n+++ b/%s\n", filename, filename)
+	oldLine, newLine := 1, 1
+	k := 0
+	for k < len(ops) {
+		// Skip unchanged runs.
+		if ops[k].kind == ' ' {
+			oldLine++
+			newLine++
+			k++
+			continue
+		}
+		// Hunk start: back up for leading context.
+		start := k
+		lead := 0
+		for start > 0 && lead < ctx && ops[start-1].kind == ' ' {
+			start--
+			lead++
+		}
+		// Extend through changes, allowing gaps of <= 2*ctx unchanged
+		// lines between them.
+		end := k
+		run := 0
+		for idx := k; idx < len(ops); idx++ {
+			if ops[idx].kind == ' ' {
+				run++
+				if run > 2*ctx {
+					break
+				}
+			} else {
+				run = 0
+				end = idx
+			}
+		}
+		trail := 0
+		for end+1 < len(ops) && trail < ctx && ops[end+1].kind == ' ' {
+			end++
+			trail++
+		}
+
+		hunkOldStart := oldLine - lead
+		hunkNewStart := newLine - lead
+		oldCount, newCount := 0, 0
+		var body strings.Builder
+		for idx := start; idx <= end; idx++ {
+			switch ops[idx].kind {
+			case ' ':
+				oldCount++
+				newCount++
+			case '-':
+				oldCount++
+			case '+':
+				newCount++
+			}
+			body.WriteByte(ops[idx].kind)
+			body.WriteString(ops[idx].line)
+			body.WriteByte('\n')
+		}
+		fmt.Fprintf(&sb, "@@ -%d,%d +%d,%d @@\n%s", hunkOldStart, oldCount, hunkNewStart, newCount, body.String())
+
+		// Advance line counters over the consumed ops.
+		for idx := k; idx <= end; idx++ {
+			switch ops[idx].kind {
+			case ' ':
+				oldLine++
+				newLine++
+			case '-':
+				oldLine++
+			case '+':
+				newLine++
+			}
+		}
+		k = end + 1
+	}
+	return sb.String()
+}
+
+func splitLines(src []byte) []string {
+	s := string(src)
+	s = strings.TrimSuffix(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}

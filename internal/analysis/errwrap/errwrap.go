@@ -16,6 +16,7 @@ package errwrap
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 
@@ -74,6 +75,15 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
 					"wrap a pgsserrors sentinel (%%w) or use a helper like pgsserrors.Invalidf",
 				pass.Pkg.Path())
 		case isPkgCall(pass, call, "fmt", "Errorf") && !formatWraps(call):
+			if fix := wrapVerbFix(pass, call); fix != nil {
+				pass.ReportFix(call.Pos(),
+					"replace the error argument's verb with %w",
+					fix,
+					"fmt.Errorf without %%w in engine package %s creates an unclassifiable error; "+
+						"wrap a pgsserrors sentinel or the causing error",
+					pass.Pkg.Path())
+				return true
+			}
 			pass.Reportf(call.Pos(),
 				"fmt.Errorf without %%w in engine package %s creates an unclassifiable error; "+
 					"wrap a pgsserrors sentinel or the causing error",
@@ -99,6 +109,64 @@ func isPkgCall(pass *analysis.Pass, call *ast.CallExpr, pkgPath, name string) bo
 		return false
 	}
 	return name == "" || sel.Sel.Name == name
+}
+
+// wrapVerbFix builds the %v->%w suggested fix for a fmt.Errorf call
+// whose format is a single string literal containing a %v or %s verb
+// that formats an error-typed argument: switching that verb to %w
+// preserves the message byte-for-byte while making the error
+// classifiable. Returns nil when the shape is anything subtler
+// (concatenated formats, flags/widths, no error argument, several
+// error arguments where the choice is ambiguous).
+func wrapVerbFix(pass *analysis.Pass, call *ast.CallExpr) []analysis.TextEdit {
+	if len(call.Args) < 2 {
+		return nil
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return nil
+	}
+	text := lit.Value // quoted source text; verb bytes are identical inside
+	// Scan verbs left to right, pairing them with arguments.
+	errType := types.Universe.Lookup("error").Type()
+	argIdx := 0
+	verbAt := -1 // byte offset of the % of the verb to rewrite
+	for i := 0; i < len(text)-1; i++ {
+		if text[i] != '%' {
+			continue
+		}
+		verb := text[i+1]
+		if verb == '%' {
+			i++
+			continue
+		}
+		if !(verb >= 'a' && verb <= 'z' || verb >= 'A' && verb <= 'Z') {
+			// Flags, widths or indexed verbs: bail out rather than
+			// mis-pair arguments.
+			return nil
+		}
+		if argIdx+1 >= len(call.Args) {
+			return nil
+		}
+		arg := call.Args[argIdx+1]
+		argIdx++
+		if verb != 'v' && verb != 's' {
+			continue
+		}
+		at := pass.TypesInfo.TypeOf(arg)
+		if at == nil || !types.Implements(at, errType.Underlying().(*types.Interface)) {
+			continue
+		}
+		if verbAt >= 0 {
+			return nil // two error-typed verbs: ambiguous, leave it to a human
+		}
+		verbAt = i
+	}
+	if verbAt < 0 {
+		return nil
+	}
+	pos := lit.Pos() + token.Pos(verbAt) + 1 // the verb letter after '%'
+	return []analysis.TextEdit{{Pos: pos, End: pos + 1, NewText: "w"}}
 }
 
 // formatWraps reports whether the first argument of a fmt.Errorf call

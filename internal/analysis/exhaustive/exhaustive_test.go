@@ -1,0 +1,17 @@
+package exhaustive
+
+import (
+	"testing"
+
+	"pgss/internal/analysis/analysistest"
+)
+
+func TestExhaustive(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/src", "pgss/internal/core")
+}
+
+func TestBuiltinTypesRegistered(t *testing.T) {
+	if !builtinEnumTypes["pgss/internal/bbv.Channel"] {
+		t.Fatal("bbv.Channel must be a builtin registered enum: its switches gate the signature channel registry")
+	}
+}

@@ -1,0 +1,29 @@
+package exhaustive
+
+import (
+	"reflect"
+	"testing"
+
+	"pgss/internal/experiments"
+	"pgss/internal/pgsserrors"
+)
+
+// The analyzer's registry literals must track the live registries: a
+// technique or error kind added there without updating the analyzer
+// would silently weaken every registered switch.
+
+func TestTechniqueRegistryMatchesCampaign(t *testing.T) {
+	want := experiments.CampaignTechniques()
+	got := Registry("technique")
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("technique registry out of sync with experiments.CampaignTechniques():\nanalyzer: %v\nlive:     %v", got, want)
+	}
+}
+
+func TestErrorKindRegistryMatchesTaxonomy(t *testing.T) {
+	want := pgsserrors.Kinds()
+	got := Registry("errorkind")
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("errorkind registry out of sync with pgsserrors.Kinds():\nanalyzer: %v\nlive:     %v", got, want)
+	}
+}

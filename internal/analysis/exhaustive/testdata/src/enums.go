@@ -1,0 +1,129 @@
+// Testdata for the exhaustive analyzer. Coverage is opt-in, so scope
+// does not matter; what matters is the directives.
+package src
+
+// A registered local enum: every switch over it must name all three
+// members.
+//
+//pgss:enum
+type mode uint8
+
+const (
+	modeA mode = iota
+	modeB
+	modeC
+)
+
+// Full coverage: clean.
+func full(m mode) int {
+	switch m {
+	case modeA:
+		return 1
+	case modeB:
+		return 2
+	case modeC:
+		return 3
+	}
+	return 0
+}
+
+// Grouped cases cover too.
+func grouped(m mode) bool {
+	switch m {
+	case modeA, modeB:
+		return true
+	case modeC:
+		return false
+	}
+	return false
+}
+
+// Missing members are reported even with a default clause.
+func missingTyped(m mode) int {
+	switch m { // want "switch over mode does not cover modeB, modeC"
+	case modeA:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// An unregistered type is never checked.
+type loose uint8
+
+const (
+	looseA loose = iota
+	looseB
+)
+
+func unregistered(l loose) int {
+	switch l {
+	case looseA:
+		return 1
+	}
+	return 0
+}
+
+// A directive ties a string switch to the technique registry.
+func missingTechnique(name string) bool {
+	//pgss:enum technique
+	switch name { // want "switch over technique registry does not cover \"PGSS-Live\""
+	case "PGSS", "PGSS-Adaptive", "SMARTS", "TurboSMARTS", "SimPoint",
+		"OnlineSimPoint", "Stratified", "2PSS", "RSS", "Full":
+		return true
+	default:
+		return false
+	}
+}
+
+// Covering every technique is clean.
+func fullTechnique(name string) bool {
+	//pgss:enum technique
+	switch name {
+	case "PGSS", "PGSS-Live", "PGSS-Adaptive", "SMARTS", "TurboSMARTS",
+		"SimPoint", "OnlineSimPoint", "Stratified", "2PSS", "RSS", "Full":
+		return true
+	default:
+		return false
+	}
+}
+
+// The error-kind registry works the same way.
+func kindClass(kind string) int {
+	//pgss:enum errorkind
+	switch kind { // want "switch over errorkind registry does not cover \"interrupted\", \"infeasible\", \"io\", \"worker-stalled\", \"other\""
+	case "invalid-config", "misaligned-window", "budget-exceeded":
+		return 1
+	case "cache-corrupt", "run-panicked":
+		return 2
+	}
+	return 0
+}
+
+// A typo in the registry name is itself a finding.
+func typoRegistry(name string) bool {
+	//pgss:enum technqiue
+	switch name { // want "unknown enum registry \"technqiue\""
+	case "PGSS":
+		return true
+	}
+	return false
+}
+
+// Undirected string switches are never checked.
+func undirected(name string) bool {
+	switch name {
+	case "PGSS":
+		return true
+	}
+	return false
+}
+
+// Suppression: the escape hatch still works for reviewed cases.
+func suppressed(m mode) int {
+	switch m { //pgss:allow exhaustive legacy shim, reviewed
+	case modeA:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FixOutcome is the result of planning (and possibly applying) the
+// suggested fixes of one diagnostic batch.
+type FixOutcome struct {
+	// Files maps each changed filename to its new, gofmt-formatted
+	// contents.
+	Files map[string][]byte
+	// Applied counts the fixes whose edits made it into Files.
+	Applied int
+	// Skipped lists diagnostics whose fix was dropped because an edit
+	// overlapped one already accepted (first-come-first-served in
+	// deterministic order). Re-running after applying picks them up.
+	Skipped []Diagnostic
+}
+
+// ApplyFixes plans the suggested fixes carried by diags against the
+// current on-disk file contents. It is pure: nothing is written — pass
+// the outcome to WriteFiles (or render it with Unified) to commit.
+//
+// Conflict policy: fixes are ordered deterministically (filename, start
+// offset, analyzer, message); a fix whose edits overlap an
+// already-accepted edit is skipped whole, never half-applied. Each
+// result file must survive gofmt (go/format); a fix that breaks
+// formatting is a bug in its analyzer and fails the whole call loudly.
+func ApplyFixes(diags []Diagnostic) (*FixOutcome, error) {
+	type plannedFix struct {
+		diag Diagnostic
+		key  string
+	}
+	var fixes []plannedFix
+	for _, d := range diags {
+		if d.Fix == nil || len(d.Fix.Edits) == 0 {
+			continue
+		}
+		e := d.Fix.Edits[0]
+		fixes = append(fixes, plannedFix{
+			diag: d,
+			key:  fmt.Sprintf("%s\x00%012d\x00%012d\x00%s\x00%s", e.Filename, e.Start, e.End, d.Analyzer, d.Message),
+		})
+	}
+	if len(fixes) == 0 {
+		return &FixOutcome{Files: map[string][]byte{}}, nil
+	}
+	sort.Slice(fixes, func(i, j int) bool { return fixes[i].key < fixes[j].key })
+
+	out := &FixOutcome{Files: map[string][]byte{}}
+	accepted := map[string][]Edit{} // per file, the edits taken so far
+	for _, f := range fixes {
+		if conflicts(accepted, f.diag.Fix.Edits) {
+			out.Skipped = append(out.Skipped, f.diag)
+			continue
+		}
+		for _, e := range f.diag.Fix.Edits {
+			accepted[e.Filename] = append(accepted[e.Filename], e)
+		}
+		out.Applied++
+	}
+
+	for filename, edits := range accepted {
+		src, err := os.ReadFile(filename)
+		if err != nil {
+			return nil, fmt.Errorf("fix: %w", err)
+		}
+		patched, err := applyEdits(src, edits)
+		if err != nil {
+			return nil, fmt.Errorf("fix %s: %w", filename, err)
+		}
+		formatted, err := format.Source(patched)
+		if err != nil {
+			return nil, fmt.Errorf("fix %s: result does not gofmt (analyzer bug): %w", filename, err)
+		}
+		out.Files[filename] = formatted
+	}
+	return out, nil
+}
+
+// conflicts reports whether any edit overlaps an already-accepted edit
+// in the same file. Two insertions at the same offset also conflict:
+// their relative order would be ambiguous.
+func conflicts(accepted map[string][]Edit, edits []Edit) bool {
+	for _, e := range edits {
+		for _, a := range accepted[e.Filename] {
+			if e.Start < a.End && a.Start < e.End {
+				return true
+			}
+			if e.Start == e.End && a.Start == a.End && e.Start == a.Start {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// applyEdits splices edits (non-overlapping) into src, validating
+// offsets against the file bounds.
+func applyEdits(src []byte, edits []Edit) ([]byte, error) {
+	sorted := make([]Edit, len(edits))
+	copy(sorted, edits)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start > sorted[j].Start })
+	for _, e := range sorted {
+		if e.Start < 0 || e.End < e.Start || e.End > len(src) {
+			return nil, fmt.Errorf("edit [%d,%d) out of bounds (file is %d bytes)", e.Start, e.End, len(src))
+		}
+		var buf []byte
+		buf = append(buf, src[:e.Start]...)
+		buf = append(buf, e.NewText...)
+		buf = append(buf, src[e.End:]...)
+		src = buf
+	}
+	return src, nil
+}
+
+// WriteFiles commits an outcome's files atomically and in filename
+// order: each file is written to a temp sibling and renamed into
+// place, so a crash mid-fix never leaves a half-patched source file.
+func WriteFiles(files map[string][]byte) error {
+	names := make([]string, 0, len(files))
+	for filename := range files {
+		names = append(names, filename)
+	}
+	sort.Strings(names)
+	for _, filename := range names {
+		contents := files[filename]
+		tmp, err := os.CreateTemp(filepath.Dir(filename), ".pgss-fix-*")
+		if err != nil {
+			return fmt.Errorf("fix: %w", err)
+		}
+		if _, err := tmp.Write(contents); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return fmt.Errorf("fix: write %s: %w", filename, err)
+		}
+		if err := tmp.Close(); err != nil {
+			os.Remove(tmp.Name())
+			return fmt.Errorf("fix: close %s: %w", filename, err)
+		}
+		info, err := os.Stat(filename)
+		if err == nil {
+			os.Chmod(tmp.Name(), info.Mode())
+		}
+		if err := os.Rename(tmp.Name(), filename); err != nil {
+			os.Remove(tmp.Name())
+			return fmt.Errorf("fix: replace %s: %w", filename, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"go/format"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, contents string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(contents), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestApplyEditsSpliceAndBounds(t *testing.T) {
+	src := []byte("abcdef")
+	got, err := applyEdits(src, []Edit{
+		{Start: 1, End: 3, NewText: "XY"},
+		{Start: 5, End: 6, NewText: ""},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "aXYde" {
+		t.Fatalf("applyEdits = %q, want %q", got, "aXYde")
+	}
+	if _, err := applyEdits(src, []Edit{{Start: 4, End: 99}}); err == nil {
+		t.Fatal("out-of-bounds edit not rejected")
+	}
+}
+
+const fixableSrc = `package p
+
+func f() int {
+	x := 1
+	return x
+}
+`
+
+func TestApplyFixesIsByteStableAndGofmtClean(t *testing.T) {
+	path := writeTemp(t, "f.go", fixableSrc)
+	diags := []Diagnostic{{
+		Analyzer: "t",
+		Message:  "rename x",
+		Fix: &SuggestedFix{Message: "x -> y", Edits: []Edit{
+			{Filename: path, Start: 27, End: 28, NewText: "y"},
+			{Filename: path, Start: 42, End: 43, NewText: "y"},
+		}},
+	}}
+	first, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Applied != 1 || len(first.Skipped) != 0 {
+		t.Fatalf("Applied=%d Skipped=%d, want 1/0", first.Applied, len(first.Skipped))
+	}
+	out := first.Files[path]
+	formatted, err := format.Source(out)
+	if err != nil {
+		t.Fatalf("fixed output does not parse: %v", err)
+	}
+	if string(formatted) != string(out) {
+		t.Fatalf("fixed output is not gofmt-clean:\n%s", out)
+	}
+	// Planning the same fixes again from unchanged input must give the
+	// same bytes.
+	second, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(second.Files[path]) != string(out) {
+		t.Fatal("ApplyFixes is not deterministic for identical input")
+	}
+}
+
+func TestApplyFixesSkipsOverlapsWhole(t *testing.T) {
+	path := writeTemp(t, "f.go", fixableSrc)
+	diags := []Diagnostic{
+		{
+			Analyzer: "a",
+			Message:  "first",
+			Fix: &SuggestedFix{Edits: []Edit{
+				{Filename: path, Start: 27, End: 28, NewText: "y"},
+			}},
+		},
+		{
+			Analyzer: "b",
+			Message:  "second overlaps first and must be dropped whole",
+			Fix: &SuggestedFix{Edits: []Edit{
+				{Filename: path, Start: 27, End: 28, NewText: "z"},
+				{Filename: path, Start: 42, End: 43, NewText: "z"},
+			}},
+		},
+	}
+	out, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Applied != 1 || len(out.Skipped) != 1 {
+		t.Fatalf("Applied=%d Skipped=%d, want 1/1", out.Applied, len(out.Skipped))
+	}
+	if out.Skipped[0].Analyzer != "b" {
+		t.Fatalf("skipped %q, want the later-ordered fix \"b\"", out.Skipped[0].Analyzer)
+	}
+	// The partner edit of the skipped fix must not have been applied:
+	// `return x` survives.
+	if got := string(out.Files[path]); !contains(got, "return x") || !contains(got, "y := 1") {
+		t.Fatalf("half-applied fix:\n%s", got)
+	}
+}
+
+func TestApplyFixesRejectsUnformattableResult(t *testing.T) {
+	path := writeTemp(t, "f.go", fixableSrc)
+	diags := []Diagnostic{{
+		Analyzer: "t",
+		Message:  "break the file",
+		Fix: &SuggestedFix{Edits: []Edit{
+			{Filename: path, Start: 0, End: 7, NewText: "pack age"},
+		}},
+	}}
+	if _, err := ApplyFixes(diags); err == nil {
+		t.Fatal("syntax-breaking fix not rejected")
+	}
+}
+
+func TestWriteFilesCommits(t *testing.T) {
+	path := writeTemp(t, "f.go", "old")
+	if err := WriteFiles(map[string][]byte{path: []byte("new contents")}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new contents" {
+		t.Fatalf("WriteFiles wrote %q", got)
+	}
+}
+
+func TestUnifiedDiffShape(t *testing.T) {
+	oldSrc := []byte("a\nb\nc\nd\ne\nf\ng\nh\n")
+	newSrc := []byte("a\nb\nc\nD\ne\nf\ng\nh\n")
+	d := Unified("x.go", oldSrc, newSrc)
+	for _, want := range []string{"--- a/x.go", "+++ b/x.go", "@@", "-d", "+D", " c"} {
+		if !contains(d, want) {
+			t.Errorf("diff missing %q:\n%s", want, d)
+		}
+	}
+	if Unified("x.go", oldSrc, oldSrc) != "" {
+		t.Error("identical contents should produce an empty diff")
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

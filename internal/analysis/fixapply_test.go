@@ -1,0 +1,160 @@
+package analysis_test
+
+// End-to-end suggested-fix tests: run a real analyzer over a scratch
+// package, apply its fixes through the same ApplyFixes/WriteFiles path
+// the CLI uses, and verify the acceptance contract — the result is
+// gofmt-clean, a re-run reports zero fixable findings, and a second
+// apply changes nothing (idempotence).
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pgss/internal/analysis"
+	"pgss/internal/analysis/errwrap"
+	"pgss/internal/analysis/exhaustive"
+)
+
+// applyAll loads dir as an engine package, runs an, applies every
+// suggested fix, and returns the diagnostics from before the apply.
+func applyAll(t *testing.T, an *analysis.Analyzer, dir string) []analysis.Diagnostic {
+	t.Helper()
+	pkg, err := analysis.NewLoader().LoadDir(dir, "pgss/internal/core")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := analysis.RunAnalyzer(an, pkg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	outcome, err := analysis.ApplyFixes(diags)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if len(outcome.Skipped) != 0 {
+		t.Fatalf("fixes skipped unexpectedly: %v", outcome.Skipped)
+	}
+	if err := analysis.WriteFiles(outcome.Files); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	return diags
+}
+
+// rerunFixable reloads dir and counts findings that still carry a fix.
+func rerunFixable(t *testing.T, an *analysis.Analyzer, dir string) int {
+	t.Helper()
+	pkg, err := analysis.NewLoader().LoadDir(dir, "pgss/internal/core")
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	diags, err := analysis.RunAnalyzer(an, pkg)
+	if err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+	fixable := 0
+	for _, d := range diags {
+		if d.Fix != nil {
+			fixable++
+		}
+	}
+	return fixable
+}
+
+func TestErrwrapFixEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wrap.go")
+	src := `package core
+
+import "fmt"
+
+func wrap(err error) error {
+	return fmt.Errorf("compute failed: %v", err)
+}
+
+func annotate(err error, op string) error {
+	return fmt.Errorf("%s: %v", op, err)
+}
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	diags := applyAll(t, errwrap.Analyzer, dir)
+	if len(diags) != 2 {
+		t.Fatalf("got %d findings, want 2:\n%v", len(diags), diags)
+	}
+	fixed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"compute failed: %w"`, `"%s: %w"`} {
+		if !strings.Contains(string(fixed), want) {
+			t.Errorf("fixed source missing %s:\n%s", want, fixed)
+		}
+	}
+	if n := rerunFixable(t, errwrap.Analyzer, dir); n != 0 {
+		t.Fatalf("re-run still reports %d fixable findings", n)
+	}
+}
+
+func TestExhaustiveFixEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "enum.go")
+	src := `package core
+
+//pgss:enum
+type mode uint8
+
+const (
+	modeA mode = iota
+	modeB
+	modeC
+)
+
+func pick(m mode) int {
+	switch m {
+	case modeA:
+		return 1
+	default:
+		return 0
+	}
+}
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	diags := applyAll(t, exhaustive.Analyzer, dir)
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want 1:\n%v", len(diags), diags)
+	}
+	fixed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fixed), "case modeB:") || !strings.Contains(string(fixed), "case modeC:") {
+		t.Errorf("fix did not insert missing cases:\n%s", fixed)
+	}
+	if !strings.Contains(string(fixed), `panic("exhaustive: unhandled modeB")`) {
+		t.Errorf("inserted case is silent, want a panic stub:\n%s", fixed)
+	}
+	// The inserted clauses must precede default so they are reachable.
+	if strings.Index(string(fixed), "case modeB:") > strings.Index(string(fixed), "default:") {
+		t.Errorf("inserted cases landed after default:\n%s", fixed)
+	}
+	if n := rerunFixable(t, exhaustive.Analyzer, dir); n != 0 {
+		t.Fatalf("re-run still reports %d fixable findings", n)
+	}
+	// Idempotence: a second apply pass must not change the file.
+	before := string(fixed)
+	applyAll(t, exhaustive.Analyzer, dir)
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != before {
+		t.Fatal("second fix pass modified an already-fixed file")
+	}
+}

@@ -1,0 +1,196 @@
+// Package fpdeterminism guards the bit-identity invariant the engine
+// packages promise (serial == parallel == resumed, DeepEqual-gated in
+// the tier-1 suite): float64 addition is not associative, so any
+// accumulation whose *order* is not fixed can produce run-to-run
+// different bits. Two orderings Go makes explicitly nondeterministic
+// are map iteration and goroutine scheduling. The analyzer flags
+//
+//   - compound float assignments (`sum += v`, `sum = sum * w`, ...)
+//     inside a range-over-map body when the accumulator outlives the
+//     loop, and
+//   - float accumulation into a variable captured by a `go`-launched
+//     function literal — even under a mutex the merge order is
+//     scheduling order.
+//
+// The fix in both cases is the one the parallel engine already uses:
+// extract keys and sort, or reduce per-worker partials in a fixed
+// order.
+package fpdeterminism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"pgss/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "fpdeterminism",
+	Doc: "flag non-associative float accumulation ordered by map iteration " +
+		"or goroutine scheduling (breaks bit-identical replay)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsEngine(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if isMapType(pass.TypesInfo.TypeOf(n.X)) {
+					checkLoop(pass, n)
+				}
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					checkGoroutine(pass, lit)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkLoop reports float accumulations inside a range-over-map body
+// whose accumulator is declared outside the loop — each iteration
+// order gives a different rounding sequence.
+func checkLoop(pass *analysis.Pass, loop *ast.RangeStmt) {
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		lhs, desc := floatAccumulation(pass, as)
+		if lhs == nil {
+			return true
+		}
+		if declaredWithin(pass, lhs, loop.Body) {
+			return true
+		}
+		pass.Reportf(as.Pos(),
+			"float %s of %s inside range over map folds the iteration order into the result "+
+				"(sort the keys first, or collect and reduce in a fixed order)",
+			desc, exprString(lhs))
+		return true
+	})
+}
+
+// checkGoroutine reports float accumulation into variables captured
+// from the enclosing function by a go-launched literal: the merge
+// happens in scheduling order, mutex or not.
+func checkGoroutine(pass *analysis.Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+			return false // nested literal launched who-knows-how; keep it simple
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		lhs, desc := floatAccumulation(pass, as)
+		if lhs == nil {
+			return true
+		}
+		if declaredWithin(pass, lhs, lit.Body) {
+			return true
+		}
+		pass.Reportf(as.Pos(),
+			"float %s of %s inside a goroutine merges in scheduling order, which is not "+
+				"bit-reproducible (accumulate per-goroutine partials and reduce them in worker order)",
+			desc, exprString(lhs))
+		return true
+	})
+}
+
+// floatAccumulation recognizes `x op= e` and `x = x op e` (op in
+// + - * /) where x has floating-point type; returns the accumulator
+// expression and a short description of the operation.
+func floatAccumulation(pass *analysis.Pass, as *ast.AssignStmt) (ast.Expr, string) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil, ""
+	}
+	lhs := as.Lhs[0]
+	if !isFloatType(pass.TypesInfo.TypeOf(lhs)) {
+		return nil, ""
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN:
+		return lhs, "accumulation (+=)"
+	case token.SUB_ASSIGN:
+		return lhs, "accumulation (-=)"
+	case token.MUL_ASSIGN:
+		return lhs, "product accumulation (*=)"
+	case token.QUO_ASSIGN:
+		return lhs, "quotient accumulation (/=)"
+	case token.ASSIGN:
+		bin, ok := as.Rhs[0].(*ast.BinaryExpr)
+		if !ok {
+			return nil, ""
+		}
+		switch bin.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+		default:
+			return nil, ""
+		}
+		want := exprString(lhs)
+		if exprString(bin.X) == want || exprString(bin.Y) == want {
+			return lhs, "accumulation (x = x " + bin.Op.String() + " ...)"
+		}
+	}
+	return nil, ""
+}
+
+// exprString renders the accumulator for messages; mirrors lockorder's
+// small printer rather than pulling in go/printer.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.StarExpr:
+		return exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	default:
+		return "expression"
+	}
+}
+
+// declaredWithin reports whether the accumulator expression names a
+// variable whose declaration lies inside body — per-iteration or
+// per-goroutine locals reset each round and carry no cross-order
+// state.
+func declaredWithin(pass *analysis.Pass, e ast.Expr, body *ast.BlockStmt) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false // fields and indexed slots outlive the body
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	return v.Pos() >= body.Pos() && v.Pos() < body.End()
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func isFloatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

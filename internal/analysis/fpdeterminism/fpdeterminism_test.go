@@ -1,0 +1,15 @@
+package fpdeterminism
+
+import (
+	"testing"
+
+	"pgss/internal/analysis/analysistest"
+)
+
+func TestEngineScope(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/engine", "pgss/internal/core")
+}
+
+func TestOutsideScope(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/outside", "pgss/internal/campaign")
+}

@@ -1,0 +1,129 @@
+// Testdata for the fpdeterminism analyzer, loaded as an engine package
+// so the scope applies.
+package engine
+
+import "sort"
+
+type stats struct {
+	total float64
+	n     int
+}
+
+// Accumulating straight out of map iteration order.
+func sumMap(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "float accumulation \\(\\+=\\) of sum inside range over map"
+	}
+	return sum
+}
+
+// Field accumulators are just as ordered-sensitive.
+func sumIntoField(m map[string]float64, s *stats) {
+	for _, v := range m {
+		s.total += v // want "float accumulation \\(\\+=\\) of s.total inside range over map"
+		s.n++        // int accumulation is exact: clean
+	}
+}
+
+// The spelled-out form is the same hazard.
+func sumSpelled(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum = sum + v // want "float accumulation \\(x = x \\+ ...\\) of sum inside range over map"
+	}
+	return sum
+}
+
+// Products are non-associative in floating point too.
+func product(m map[string]float64) float64 {
+	p := 1.0
+	for _, v := range m {
+		p *= v // want "float product accumulation \\(\\*=\\) of p inside range over map"
+	}
+	return p
+}
+
+// Sorting the keys first fixes the order: range over the slice is
+// clean.
+func sumSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// A per-iteration local carries no cross-order state.
+func perIterationLocal(m map[string][]float64) int {
+	count := 0
+	for _, vs := range m {
+		var rowSum float64
+		for _, v := range vs {
+			rowSum += v
+		}
+		if rowSum > 1 {
+			count++
+		}
+	}
+	return count
+}
+
+// Goroutines merging into a shared accumulator reduce in scheduling
+// order — the mutex makes it safe, not reproducible.
+func parallelSum(parts [][]float64) float64 {
+	var total float64
+	done := make(chan struct{})
+	for _, part := range parts {
+		part := part
+		go func() {
+			for _, v := range part {
+				total += v // want "float accumulation \\(\\+=\\) of total inside a goroutine"
+			}
+			done <- struct{}{}
+		}()
+	}
+	for range parts {
+		<-done
+	}
+	return total
+}
+
+// Per-goroutine partials reduced in worker order: the clean shape.
+func parallelSumOrdered(parts [][]float64) float64 {
+	partials := make([]float64, len(parts))
+	done := make(chan struct{})
+	for i, part := range parts {
+		i, part := i, part
+		go func() {
+			var local float64
+			for _, v := range part {
+				local += v
+			}
+			partials[i] = local
+			done <- struct{}{}
+		}()
+	}
+	for range parts {
+		<-done
+	}
+	var total float64
+	for _, p := range partials {
+		total += p
+	}
+	return total
+}
+
+// Suppression: the escape hatch still works for reviewed cases.
+func suppressed(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //pgss:allow fpdeterminism diagnostic-only counter, reviewed
+	}
+	return sum
+}

@@ -1,0 +1,11 @@
+// The same accumulation shapes outside the engine scope: no findings
+// expected anywhere in this file.
+package outside
+
+func sumMap(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,395 @@
+// Package leaktrack is the path-sensitive resource-release checker for
+// the flow scope (engine packages, artifact store, chaos harness, cmd
+// mains). PR 5 made every engine write crash-consistent and PR 9 added
+// cross-process lock files; both rely on handles being released on
+// *every* path — the classic bug is
+//
+//	f, err := fsys.OpenFile(...)
+//	if err != nil { ... }
+//	if otherCheck != nil { return err }   // f leaks here
+//	defer f.Close()
+//
+// For each function it builds the CFG (internal/analysis/cfg) and runs
+// a forward may-analysis of "open resources": a local variable assigned
+// from an Open*/Create*-shaped call whose result type has a Close
+// method. A resource dies when it is closed, deferred-closed, returned
+// (ownership transfer), stored or aliased (assignment, composite
+// literal), passed to another call, or captured by a function literal —
+// all conservative escapes, so a finding means no path-insensitive
+// excuse exists. The `err != nil` branch of the acquiring call's error
+// is refined away on the edge (the handle is nil there), which is what
+// makes the early-return shape precise.
+package leaktrack
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"pgss/internal/analysis"
+	"pgss/internal/analysis/cfg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "leaktrack",
+	Doc: "flag files, lock files and journal handles acquired then leaked " +
+		"on early-return paths (close, defer, or hand off on every path)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsFlowScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkBody(pass, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkBody(pass, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// resource is one tracked acquisition site.
+type resource struct {
+	v       *types.Var // the handle variable
+	errVar  *types.Var // the paired error result, nil if none
+	pos     token.Pos  // acquisition position
+	callStr string     // rendered callee for messages ("os.OpenFile")
+}
+
+// fact maps handle variable -> its acquisition; may-analysis (union
+// join): live on *some* path in.
+type fact map[*types.Var]*resource
+
+func cloneFact(f fact) fact {
+	m := make(fact, len(f))
+	for k, v := range f {
+		m[k] = v
+	}
+	return m
+}
+
+type tracker struct {
+	pass *analysis.Pass
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	t := &tracker{pass: pass}
+	g := cfg.Build(body)
+	problem := cfg.Problem[fact]{
+		Dir:      cfg.Forward,
+		Boundary: fact{},
+		Init:     fact{},
+		Transfer: func(b *cfg.Block, in fact) fact {
+			out := cloneFact(in)
+			b.Visit(func(n ast.Node) { t.transfer(n, out, false) })
+			return out
+		},
+		FlowEdge: func(e cfg.Edge, out fact) fact {
+			return t.refineOnErrEdge(e, out)
+		},
+		Join: func(a, b fact) fact {
+			m := cloneFact(a)
+			for k, v := range b {
+				if _, ok := m[k]; !ok {
+					m[k] = v
+				}
+			}
+			return m
+		},
+		Equal: func(a, b fact) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if _, ok := b[k]; !ok {
+					return false
+				}
+			}
+			return true
+		},
+	}
+	in := cfg.Solve(g, problem)
+
+	for _, b := range g.ReversePostorder() {
+		live := cloneFact(in[b])
+		b.Visit(func(n ast.Node) { t.transfer(n, live, true) })
+	}
+}
+
+// refineOnErrEdge kills resources whose paired error is known non-nil
+// on this edge: `if err != nil` true-branch (or `err == nil`
+// false-branch) means the acquiring call failed and returned no handle.
+func (t *tracker) refineOnErrEdge(e cfg.Edge, out fact) fact {
+	if e.Cond == nil {
+		return out
+	}
+	bin, ok := e.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return out
+	}
+	var errIdent *ast.Ident
+	switch {
+	case isNil(bin.Y):
+		errIdent, _ = bin.X.(*ast.Ident)
+	case isNil(bin.X):
+		errIdent, _ = bin.Y.(*ast.Ident)
+	}
+	if errIdent == nil {
+		return out
+	}
+	errVar := usedVar(t.pass, errIdent)
+	if errVar == nil {
+		return out
+	}
+	// Is the error non-nil on this edge?
+	nonNil := (bin.Op == token.NEQ && !e.Negate) || (bin.Op == token.EQL && e.Negate)
+	if !nonNil {
+		return out
+	}
+	var refined fact
+	for v, r := range out {
+		if r.errVar == errVar {
+			if refined == nil {
+				refined = cloneFact(out)
+			}
+			delete(refined, v)
+		}
+	}
+	if refined != nil {
+		return refined
+	}
+	return out
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// transfer folds one block node into the live set; when report is true
+// it also emits findings at returns.
+func (t *tracker) transfer(n ast.Node, live fact, report bool) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		// Kills first: aliasing or storing the handle ends tracking.
+		for _, rhs := range n.Rhs {
+			if !isAcquireCall(rhs) {
+				t.killUses(rhs, live)
+			}
+		}
+		// Reassigning a tracked variable drops the old handle — that is
+		// itself a leak of the old value, but conservatively we just
+		// stop tracking (the old handle may have escaped via interface
+		// conversion games).
+		for _, lhs := range n.Lhs {
+			if v := localVar(t.pass, lhs); v != nil {
+				delete(live, v)
+			}
+		}
+		// Gen: v, err := Open*(...)
+		if r := t.acquisition(n); r != nil {
+			live[r.v] = r
+		}
+
+	case *ast.DeferStmt:
+		// defer v.Close() — or any deferred closure mentioning v —
+		// guarantees release on every path from here on.
+		t.killUses(n.Call, live)
+		for _, arg := range n.Call.Args {
+			t.killUses(arg, live)
+		}
+		if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+			t.killUses(lit, live)
+		}
+
+	case *ast.ReturnStmt:
+		if report && len(live) > 0 {
+			t.reportLeaks(n, live)
+		}
+		for _, res := range n.Results {
+			t.killUses(res, live)
+		}
+
+	default:
+		for _, sub := range cfg.Shallow(n) {
+			t.killUses(sub, live)
+		}
+	}
+}
+
+// reportLeaks emits one finding per live resource not released before
+// this return, deterministically ordered.
+func (t *tracker) reportLeaks(ret *ast.ReturnStmt, live fact) {
+	// Resources mentioned in the return expression transfer ownership
+	// to the caller; killUses handles them after reporting, but they
+	// must not be reported either.
+	returned := map[*types.Var]bool{}
+	for _, res := range ret.Results {
+		ast.Inspect(res, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if v := usedVar(t.pass, id); v != nil {
+					returned[v] = true
+				}
+			}
+			return true
+		})
+	}
+	var leaks []*resource
+	for v, r := range live {
+		if !returned[v] {
+			leaks = append(leaks, r)
+		}
+	}
+	sort.Slice(leaks, func(i, j int) bool { return leaks[i].pos < leaks[j].pos })
+	for _, r := range leaks {
+		t.pass.Reportf(ret.Pos(),
+			"%s acquired from %s at %s may leak on this return path: close it, defer its "+
+				"release, or hand it off before returning",
+			r.v.Name(), r.callStr, t.pass.Fset.Position(r.pos))
+	}
+}
+
+// killUses removes from live every tracked variable mentioned anywhere
+// in expr — method calls (Close), argument passing, composite storage,
+// closure capture: all conservative escapes.
+func (t *tracker) killUses(n ast.Node, live fact) {
+	if n == nil || len(live) == 0 {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v := usedVar(t.pass, id); v != nil {
+			delete(live, v)
+		}
+		return true
+	})
+}
+
+// acquisition recognizes `v, err := Open*(...)` / `v := Create*(...)`
+// where v's type has a Close method.
+func (t *tracker) acquisition(as *ast.AssignStmt) *resource {
+	if len(as.Rhs) != 1 {
+		return nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || !isAcquireName(calleeName(call)) {
+		return nil
+	}
+	if len(as.Lhs) < 1 {
+		return nil
+	}
+	v := localVar(t.pass, as.Lhs[0])
+	if v == nil || !hasClose(v.Type()) {
+		return nil
+	}
+	var errVar *types.Var
+	if len(as.Lhs) == 2 {
+		if ev := localVar(t.pass, as.Lhs[1]); ev != nil && isErrorType(ev.Type()) {
+			errVar = ev
+		}
+	}
+	return &resource{v: v, errVar: errVar, pos: as.Pos(), callStr: renderCallee(call)}
+}
+
+func isAcquireCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	return ok && isAcquireName(calleeName(call))
+}
+
+// isAcquireName matches the tree's resource constructors: os and
+// faultinject file opens, temp files, journal opens, artifact store
+// opens.
+func isAcquireName(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.HasPrefix(lower, "open") || strings.HasPrefix(lower, "create")
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+func renderCallee(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}
+
+// localVar resolves an expression to the local variable it names (nil
+// for blank, fields, globals).
+func localVar(pass *analysis.Pass, e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	var obj types.Object
+	if def, ok := pass.TypesInfo.Defs[id]; ok && def != nil {
+		obj = def
+	} else if use, ok := pass.TypesInfo.Uses[id]; ok {
+		obj = use
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	// Package-level variables are shared state, not a leakable local.
+	if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+		return nil
+	}
+	return v
+}
+
+// usedVar resolves a use of an identifier to a local variable.
+func usedVar(pass *analysis.Pass, id *ast.Ident) *types.Var {
+	obj := pass.TypesInfo.Uses[id]
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	return v
+}
+
+func hasClose(t types.Type) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "Close")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	return sig.Params().Len() == 0
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error"
+}

@@ -1,0 +1,15 @@
+package leaktrack
+
+import (
+	"testing"
+
+	"pgss/internal/analysis/analysistest"
+)
+
+func TestFlowScope(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/engine", "pgss/internal/core")
+}
+
+func TestOutsideScope(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/outside", "pgss/internal/campaign")
+}

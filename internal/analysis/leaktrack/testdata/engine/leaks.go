@@ -1,0 +1,156 @@
+// Testdata for the leaktrack analyzer, loaded as an engine package so
+// the flow scope applies.
+package engine
+
+import (
+	"errors"
+	"os"
+)
+
+var errBudget = errors.New("budget exceeded")
+
+// The classic early-return leak: the handle is open when the budget
+// check bails out.
+func leakOnEarlyReturn(path string, budget int) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if budget <= 0 {
+		return errBudget // want "f acquired from os.OpenFile .* may leak on this return path"
+	}
+	return f.Close()
+}
+
+// The err != nil branch is not a leak: the handle is nil there.
+func errBranchIsClean(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Deferred close releases on every path, including early returns.
+func deferIsClean(path string, budget int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if budget <= 0 {
+		return errBudget
+	}
+	return nil
+}
+
+// Explicit close before the early return.
+func closedBeforeReturn(path string, budget int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if budget <= 0 {
+		f.Close()
+		return errBudget
+	}
+	return f.Close()
+}
+
+// Returning the handle transfers ownership to the caller.
+func escapeViaReturn(path string) (*os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Storing the handle in a struct hands it off; the holder owns it now.
+type holder struct {
+	f *os.File
+}
+
+func escapeViaStore(path string, h *holder, budget int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	h.f = f
+	if budget <= 0 {
+		return errBudget
+	}
+	return nil
+}
+
+// Passing the handle to another call is a conservative hand-off.
+func consume(f *os.File) {}
+
+func escapeViaCall(path string, budget int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	consume(f)
+	if budget <= 0 {
+		return errBudget
+	}
+	return nil
+}
+
+// Only one of two paths leaks: the then-branch closes, the fall-through
+// bails with the handle still open.
+func leakOnOnePath(path string, fast bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	if fast {
+		return f.Close()
+	}
+	return errBudget // want "f acquired from os.Open .* may leak on this return path"
+}
+
+// Two handles: g's open failure leaks f, and the slow path leaks f
+// again even though g was released.
+func twoHandles(a, b string, fast bool) error {
+	f, err := os.Open(a)
+	if err != nil {
+		return err
+	}
+	g, err2 := os.Open(b)
+	if err2 != nil {
+		return err2 // want "f acquired from os.Open .* may leak on this return path"
+	}
+	g.Close()
+	if fast {
+		return f.Close()
+	}
+	return nil // want "f acquired from os.Open .* may leak on this return path"
+}
+
+// Suppression: the escape hatch still works for reviewed cases.
+func suppressed(path string, budget int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	if budget <= 0 {
+		return errBudget //pgss:allow leaktrack finalizer closes it, reviewed
+	}
+	return f.Close()
+}
+
+// A leak inside a function literal is its own unit and still reported.
+func insideClosure(path string, budget int) func() error {
+	return func() error {
+		g, gerr := os.Open(path)
+		if gerr != nil {
+			return gerr
+		}
+		if budget <= 0 {
+			return errBudget // want "g acquired from os.Open .* may leak on this return path"
+		}
+		return g.Close()
+	}
+}

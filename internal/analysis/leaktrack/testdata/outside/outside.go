@@ -1,0 +1,21 @@
+// The same early-return leak shape, but loaded outside the flow scope:
+// no findings expected anywhere in this file.
+package outside
+
+import (
+	"errors"
+	"os"
+)
+
+var errBudget = errors.New("budget exceeded")
+
+func leakOnEarlyReturn(path string, budget int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	if budget <= 0 {
+		return errBudget
+	}
+	return f.Close()
+}

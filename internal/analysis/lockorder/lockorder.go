@@ -1,0 +1,627 @@
+// Package lockorder is the flow-sensitive deadlock guard for the
+// concurrency surfaces of the tree (engine packages, the artifact
+// store's two-level singleflight, the chaos harness, the cmd mains).
+// It builds a per-function CFG (internal/analysis/cfg), tracks the
+// may-held set of sync.Mutex/RWMutex locks along every path, and
+// reports three families of findings:
+//
+//  1. Lock-order cycles. Within a package it resolves direct calls
+//     inter-procedurally (to a fixed point over the package call
+//     graph), records an edge A→B whenever B is acquired — directly or
+//     inside a callee — while A is held, and flags any cycle in the
+//     resulting acquisition graph, including the self-cycle of
+//     re-acquiring a non-reentrant mutex.
+//
+//  2. Lock held across a blocking operation: a channel send or
+//     receive, a blocking select, range over a channel,
+//     sync.WaitGroup.Wait, or time.Sleep. Any of these while holding a
+//     mutex turns a slow peer into a pile-up behind the lock — the
+//     exact shape of the artifact-store flight-map hazard.
+//
+//  3. Lock held across file-lock acquisition (an OpenFile with
+//     os.O_EXCL): the artifact store's cross-process lock protocol
+//     polls with backoff, so taking it while holding the in-process
+//     flight-map mutex serializes every other key behind one slow
+//     recorder. The in-tree protocol releases mu first (artifact.go's
+//     resolve); this analyzer keeps it that way.
+//
+// Lock identity is per (package, owner type, field): all instances of
+// artifact.Store.mu are one lock. That conflates distinct instances —
+// fine for ordering, which must hold for every instance pair anyway.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"pgss/internal/analysis"
+	"pgss/internal/analysis/cfg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "flag mutex acquisition cycles and locks held across blocking " +
+		"operations (sends, Wait, sleeps, O_EXCL lock files)",
+	Run: run,
+}
+
+// blockingOp is one operation that can park the goroutine.
+type blockingOp struct {
+	pos  token.Pos
+	desc string
+}
+
+// summary is the inter-procedural abstract of one declared function:
+// which locks it may acquire and which blocking operations it may
+// perform, transitively through same-package callees.
+type summary struct {
+	acquires map[string]token.Pos
+	blocking []blockingOp
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	decls     map[*types.Func]*ast.FuncDecl
+	summaries map[*ast.FuncDecl]*summary
+	// edges[a][b] = first position where b was acquired while a held.
+	edges map[string]map[string]token.Pos
+	// selectComms holds the comm statements of select clauses: their
+	// send/receive is the select's own blocking point (already reported
+	// on the select, and non-blocking when a default exists), so the
+	// per-op reporting skips them.
+	selectComms map[ast.Node]bool
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsFlowScope(pass.Pkg.Path()) {
+		return nil
+	}
+	c := &checker{
+		pass:        pass,
+		decls:       map[*types.Func]*ast.FuncDecl{},
+		summaries:   map[*ast.FuncDecl]*summary{},
+		edges:       map[string]map[string]token.Pos{},
+		selectComms: map[ast.Node]bool{},
+	}
+	var fns []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			fns = append(fns, fn)
+			if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+				c.decls[obj] = fn
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if cc, ok := n.(*ast.CommClause); ok && cc.Comm != nil {
+				c.selectComms[cc.Comm] = true
+			}
+			return true
+		})
+	}
+
+	// Phase 1: per-function summaries to a fixed point over the package
+	// call graph (recursion converges because the lock/blocking sets
+	// only grow and are finite).
+	for _, fn := range fns {
+		c.summaries[fn] = &summary{acquires: map[string]token.Pos{}}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range fns {
+			if c.updateSummary(fn) {
+				changed = true
+			}
+		}
+	}
+
+	// Phase 2: walk every function body (and every function literal —
+	// goroutine bodies hold locks too) with the held-set dataflow,
+	// reporting held-across-blocking and recording order edges.
+	for _, fn := range fns {
+		c.checkBody(fn.Body)
+		for _, lit := range funcLits(fn.Body) {
+			c.checkBody(lit.Body)
+		}
+	}
+
+	c.reportCycles()
+	return nil
+}
+
+// updateSummary recomputes fn's summary; reports whether it grew.
+func (c *checker) updateSummary(fn *ast.FuncDecl) bool {
+	s := c.summaries[fn]
+	before := len(s.acquires) + len(s.blocking)
+	// Function literals are their own units (checked directly in phase
+	// 2), so the summary covers only code the caller runs synchronously.
+	c.scanForSummary(fn.Body, s)
+	return len(s.acquires)+len(s.blocking) != before
+}
+
+func (c *checker) scanForSummary(body *ast.BlockStmt, s *summary) {
+	seenBlock := map[string]bool{}
+	for _, op := range s.blocking {
+		seenBlock[op.desc+fmt.Sprint(op.pos)] = true
+	}
+	addBlock := func(op blockingOp) {
+		key := op.desc + fmt.Sprint(op.pos)
+		if !seenBlock[key] {
+			seenBlock[key] = true
+			s.blocking = append(s.blocking, op)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate unit
+		case *ast.GoStmt:
+			return false // runs elsewhere
+		case *ast.DeferStmt:
+			return false // registered, not executed here
+		case *ast.SendStmt:
+			addBlock(blockingOp{n.Pos(), "channel send"})
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				addBlock(blockingOp{n.Pos(), "channel receive"})
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				addBlock(blockingOp{n.Pos(), "blocking select"})
+			}
+		case *ast.RangeStmt:
+			if t := c.pass.TypesInfo.Types[n.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					addBlock(blockingOp{n.Pos(), "range over channel"})
+				}
+			}
+		case *ast.CallExpr:
+			if id, op := c.lockOp(n); id != "" && (op == "Lock" || op == "RLock" || op == "TryLock" || op == "TryRLock") {
+				if _, ok := s.acquires[id]; !ok {
+					s.acquires[id] = n.Pos()
+				}
+			}
+			if desc := c.blockingCall(n); desc != "" {
+				addBlock(blockingOp{n.Pos(), desc})
+			}
+			if callee := c.calleeDecl(n); callee != nil {
+				cs := c.summaries[callee]
+				for id, pos := range cs.acquires {
+					if _, ok := s.acquires[id]; !ok {
+						s.acquires[id] = pos
+					}
+				}
+				for _, op := range cs.blocking {
+					addBlock(op)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// heldSet is the dataflow fact: lock id → acquisition position.
+type heldSet map[string]token.Pos
+
+func cloneHeld(h heldSet) heldSet {
+	m := make(heldSet, len(h))
+	for k, v := range h {
+		m[k] = v
+	}
+	return m
+}
+
+// checkBody runs the held-set analysis over one function body and
+// reports findings at each node.
+func (c *checker) checkBody(body *ast.BlockStmt) {
+	g := cfg.Build(body)
+	problem := cfg.Problem[heldSet]{
+		Dir:      cfg.Forward,
+		Boundary: heldSet{},
+		Init:     heldSet{},
+		Transfer: func(b *cfg.Block, in heldSet) heldSet {
+			out := cloneHeld(in)
+			b.Visit(func(n ast.Node) { c.transferNode(n, out, nil) })
+			return out
+		},
+		Join: func(a, b heldSet) heldSet {
+			m := cloneHeld(a)
+			for k, v := range b {
+				if _, ok := m[k]; !ok {
+					m[k] = v
+				}
+			}
+			return m
+		},
+		Equal: func(a, b heldSet) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if _, ok := b[k]; !ok {
+					return false
+				}
+			}
+			return true
+		},
+	}
+	in := cfg.Solve(g, problem)
+
+	// Re-walk each reachable block from its fixed-point IN fact,
+	// reporting as we go.
+	for _, b := range g.ReversePostorder() {
+		held := cloneHeld(in[b])
+		b.Visit(func(n ast.Node) { c.transferNode(n, held, c.report) })
+	}
+}
+
+// transferNode updates held for one block-level node; when report is
+// non-nil it also emits findings/edges (the reporting pass).
+func (c *checker) transferNode(n ast.Node, held heldSet, report func(pos token.Pos, desc string, held heldSet)) {
+	if c.selectComms[n] {
+		report = nil // the enclosing select is the blocking point
+	}
+	switch n := n.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		return
+	case *ast.SendStmt:
+		if report != nil {
+			report(n.Pos(), "channel send", held)
+		}
+		// Fall through to scan the value expression for receives etc.
+	case *ast.SelectStmt:
+		if report != nil && !selectHasDefault(n) {
+			report(n.Pos(), "blocking select", held)
+		}
+		return
+	case *ast.RangeStmt:
+		if report != nil {
+			if t := c.pass.TypesInfo.Types[n.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					report(n.Pos(), "range over channel", held)
+				}
+			}
+		}
+	}
+	for _, sub := range cfg.Shallow(n) {
+		ast.Inspect(sub, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.UnaryExpr:
+				if m.Op == token.ARROW && report != nil {
+					report(m.Pos(), "channel receive", held)
+				}
+			case *ast.CallExpr:
+				c.applyCall(m, held, report)
+			}
+			return true
+		})
+	}
+}
+
+// applyCall folds one call expression into the held set, reporting
+// blocking ops and order edges when report is non-nil.
+func (c *checker) applyCall(call *ast.CallExpr, held heldSet, report func(pos token.Pos, desc string, held heldSet)) {
+	if id, op := c.lockOp(call); id != "" {
+		switch op {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			if report != nil {
+				for h := range held {
+					c.addEdge(h, id, call.Pos())
+				}
+			}
+			held[id] = call.Pos()
+		case "Unlock", "RUnlock":
+			delete(held, id)
+		}
+		return
+	}
+	if desc := c.blockingCall(call); desc != "" {
+		if report != nil {
+			report(call.Pos(), desc, held)
+		}
+		return
+	}
+	if callee := c.calleeDecl(call); callee != nil {
+		s := c.summaries[callee]
+		if report != nil {
+			for h := range held {
+				for id := range s.acquires {
+					c.addEdge(h, id, call.Pos())
+				}
+			}
+			if len(held) > 0 && len(s.blocking) > 0 {
+				op := s.blocking[0]
+				report(call.Pos(), fmt.Sprintf("call to %s, which may block on a %s",
+					callee.Name.Name, op.desc), held)
+			}
+		}
+		// The callee's net lock effect on the caller is nil for
+		// well-formed code (it releases what it takes); treating it so
+		// keeps the analysis from cascading false "held" states.
+	}
+}
+
+func (c *checker) report(pos token.Pos, desc string, held heldSet) {
+	if len(held) == 0 {
+		return
+	}
+	names := make([]string, 0, len(held))
+	for id := range held {
+		names = append(names, shortLock(id))
+	}
+	sort.Strings(names)
+	c.pass.Reportf(pos, "%s while holding %s: a slow or stuck peer keeps the lock pinned "+
+		"(release before blocking, like artifact's flight-map protocol)",
+		desc, strings.Join(names, ", "))
+}
+
+// addEdge records "to acquired while from held". from == to is kept as a
+// self-edge; reportCycles turns it into the self-deadlock finding.
+func (c *checker) addEdge(from, to string, pos token.Pos) {
+	m := c.edges[from]
+	if m == nil {
+		m = map[string]token.Pos{}
+		c.edges[from] = m
+	}
+	if _, ok := m[to]; !ok {
+		m[to] = pos
+	}
+}
+
+// reportCycles finds cycles in the acquisition-order graph and reports
+// each once, deterministically.
+func (c *checker) reportCycles() {
+	nodes := make([]string, 0, len(c.edges))
+	for n := range c.edges {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	// Self-edges first: re-acquiring a held mutex deadlocks immediately
+	// and must not be shadowed by a longer cycle through the same node.
+	for _, n := range nodes {
+		if pos, ok := c.edges[n][n]; ok {
+			c.pass.Reportf(pos, "lock %s acquired while already held: self-deadlock on a "+
+				"non-reentrant mutex", shortLock(n))
+		}
+	}
+
+	reported := map[string]bool{}
+	for _, start := range nodes {
+		// DFS from start looking for a non-trivial path back to start.
+		var path []string
+		var dfs func(n string) bool
+		onPath := map[string]bool{}
+		dfs = func(n string) bool {
+			path = append(path, n)
+			onPath[n] = true
+			targets := cfg.SortedKeys(c.edges[n])
+			for _, t := range targets {
+				if t == start && len(path) > 1 {
+					return true
+				}
+				if !onPath[t] {
+					if dfs(t) {
+						return true
+					}
+				}
+			}
+			path = path[:len(path)-1]
+			onPath[n] = false
+			return false
+		}
+		if !dfs(start) {
+			continue
+		}
+		// Canonical key: the cycle's sorted node set, so A→B→A and
+		// B→A→B report once.
+		key := canonicalCycle(path)
+		if reported[key] {
+			continue
+		}
+		reported[key] = true
+		closing := c.edges[path[len(path)-1]][start]
+		var pretty []string
+		for _, n := range path {
+			pretty = append(pretty, shortLock(n))
+		}
+		pretty = append(pretty, shortLock(start))
+		c.pass.Reportf(closing, "lock-order cycle %s: concurrent goroutines taking these "+
+			"locks in different orders can deadlock; pick one global order",
+			strings.Join(pretty, " -> "))
+	}
+}
+
+func canonicalCycle(path []string) string {
+	s := make([]string, len(path))
+	copy(s, path)
+	sort.Strings(s)
+	return strings.Join(s, "|")
+}
+
+// shortLock trims the module prefix from a lock id for readable
+// messages: "pgss/internal/artifact.Store.mu" → "artifact.Store.mu".
+func shortLock(id string) string {
+	if i := strings.LastIndex(id, "/"); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}
+
+// lockOp classifies call as a mutex operation, returning the lock's
+// identity and the method name ("" when not a lock op). It recognizes
+// both explicit fields (s.mu.Lock()) and embedded mutexes (s.Lock()
+// promoted from an embedded sync.Mutex).
+func (c *checker) lockOp(call *ast.CallExpr) (string, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	obj, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	recv := obj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", ""
+	}
+	recvName := typeName(recv.Type())
+	if recvName != "Mutex" && recvName != "RWMutex" {
+		return "", ""
+	}
+	return c.lockIdent(sel.X), sel.Sel.Name
+}
+
+// lockIdent renders the identity of the mutex-valued expression x.
+func (c *checker) lockIdent(x ast.Expr) string {
+	switch x := x.(type) {
+	case *ast.SelectorExpr:
+		// owner.field — identity is (owner's named type, field).
+		if t := c.pass.TypesInfo.Types[x.X].Type; t != nil {
+			if named := namedOf(t); named != nil {
+				return qualify(named) + "." + x.Sel.Name
+			}
+		}
+		return c.pass.Pkg.Path() + "." + exprString(x)
+	case *ast.Ident:
+		if obj := c.pass.TypesInfo.Uses[x]; obj != nil {
+			if t := obj.Type(); t != nil {
+				if named := namedOf(t); named != nil && typeName(t) != "Mutex" && typeName(t) != "RWMutex" {
+					// Embedded mutex: s.Lock() — identity is the owner type.
+					return qualify(named) + ".Mutex"
+				}
+			}
+			// Package-level or local mutex var.
+			return c.pass.Pkg.Path() + "." + x.Name
+		}
+	}
+	return c.pass.Pkg.Path() + "." + exprString(x)
+}
+
+// blockingCall classifies calls that park the goroutine outside channel
+// syntax: WaitGroup.Wait, time.Sleep, and O_EXCL lock-file opens.
+func (c *checker) blockingCall(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if obj, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && obj.Pkg() != nil {
+		switch {
+		case obj.Pkg().Path() == "sync" && obj.Name() == "Wait":
+			if recv := obj.Type().(*types.Signature).Recv(); recv != nil && typeName(recv.Type()) == "WaitGroup" {
+				return "sync.WaitGroup.Wait"
+			}
+		case obj.Pkg().Path() == "time" && obj.Name() == "Sleep":
+			return "time.Sleep"
+		}
+	}
+	// Any OpenFile whose flags mention O_EXCL is a lock-file
+	// acquisition attempt (the artifact store's cross-process protocol
+	// and anything shaped like it).
+	if sel.Sel.Name == "OpenFile" && len(call.Args) >= 2 && mentionsOEXCL(call.Args[1]) {
+		return "file-lock acquisition (O_EXCL open)"
+	}
+	return ""
+}
+
+func mentionsOEXCL(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "O_EXCL" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// calleeDecl resolves a call to a function or method declared in this
+// package, or nil.
+func (c *checker) calleeDecl(call *ast.CallExpr) *ast.FuncDecl {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	obj, ok := c.pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	return c.decls[obj]
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// funcLits collects every function literal under body (including nested
+// ones); each is checked as its own unit with an empty boundary, and the
+// per-body walkers never descend into literals, so nothing double-reports.
+func funcLits(body *ast.BlockStmt) []*ast.FuncLit {
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+		}
+		return true
+	})
+	return lits
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func typeName(t types.Type) string {
+	if named := namedOf(t); named != nil {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+func qualify(named *types.Named) string {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.StarExpr:
+		return exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}

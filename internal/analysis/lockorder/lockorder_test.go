@@ -1,0 +1,18 @@
+package lockorder
+
+import (
+	"testing"
+
+	"pgss/internal/analysis/analysistest"
+)
+
+func TestFlowScope(t *testing.T) {
+	analysistest.Run(t, Analyzer, "testdata/engine", "pgss/internal/core")
+}
+
+func TestOutsideScope(t *testing.T) {
+	// The same hazardous shapes outside the flow scope (campaign owns
+	// wall-clock retry machinery and is deliberately exempt) report
+	// nothing.
+	analysistest.Run(t, Analyzer, "testdata/outside", "pgss/internal/campaign")
+}

@@ -1,0 +1,163 @@
+// Testdata for the lockorder analyzer, loaded as an engine package so
+// the flow scope applies.
+package engine
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu    sync.Mutex
+	aux   sync.Mutex
+	state int
+	ch    chan int
+	wg    sync.WaitGroup
+}
+
+// Held across channel send: classic pile-up.
+func (s *server) sendWhileLocked() {
+	s.mu.Lock()
+	s.ch <- 1 // want "channel send while holding \\S*server.mu"
+	s.mu.Unlock()
+}
+
+// Releasing before the send is the correct shape — no finding.
+func (s *server) sendAfterUnlock() {
+	s.mu.Lock()
+	v := s.state
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// Held across receive on one path only: the then-branch releases
+// correctly, the fall-through path does not.
+func (s *server) receivePath(fast bool) int {
+	s.mu.Lock()
+	if fast {
+		s.mu.Unlock()
+		return <-s.ch
+	}
+	v := <-s.ch // want "channel receive while holding \\S*server.mu"
+	s.mu.Unlock()
+	return v
+}
+
+// Held across WaitGroup.Wait.
+func (s *server) waitWhileLocked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wg.Wait() // want "sync.WaitGroup.Wait while holding \\S*server.mu"
+}
+
+// Held across time.Sleep.
+func (s *server) sleepWhileLocked() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding \\S*server.mu"
+	s.mu.Unlock()
+}
+
+// Held across a blocking select; a select with default is non-blocking
+// and stays clean.
+func (s *server) selects() {
+	s.mu.Lock()
+	select { // want "blocking select while holding \\S*server.mu"
+	case v := <-s.ch:
+		s.state = v
+	case s.ch <- 2:
+	}
+	s.mu.Unlock()
+
+	s.mu.Lock()
+	select {
+	case v := <-s.ch:
+		s.state = v
+	default:
+	}
+	s.mu.Unlock()
+}
+
+// Held across an O_EXCL open: the artifact lock-file protocol shape.
+func (s *server) lockFileWhileLocked(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644) // want "file-lock acquisition \\(O_EXCL open\\) while holding \\S*server.mu"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Lock-order cycle through two functions: ab takes mu then aux, ba takes
+// aux then mu.
+func (s *server) ab() {
+	s.mu.Lock()
+	s.aux.Lock() // want "lock-order cycle"
+	s.aux.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *server) ba() {
+	s.aux.Lock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.aux.Unlock()
+}
+
+// Self-deadlock via an intra-package call chain: lockedHelper re-locks
+// what outer already holds.
+func (s *server) outer() {
+	s.mu.Lock()
+	s.lockedHelper() // want "self-deadlock"
+	s.mu.Unlock()
+}
+
+func (s *server) lockedHelper() {
+	s.mu.Lock()
+	s.state++
+	s.mu.Unlock()
+}
+
+// Calling a function that blocks, while holding the lock, is flagged at
+// the call site.
+func (s *server) callsBlocker() {
+	s.mu.Lock()
+	s.blocker() // want "call to blocker, which may block"
+	s.mu.Unlock()
+}
+
+func (s *server) blocker() {
+	<-s.ch
+}
+
+// Suppression: the escape hatch still works for reviewed cases.
+func (s *server) suppressed() {
+	s.mu.Lock()
+	s.ch <- 1 //pgss:allow lockorder bounded buffer, reviewed
+	s.mu.Unlock()
+}
+
+// A goroutine body is its own unit: holding a lock inside it across a
+// send is still flagged, but the enclosing function's lock state does
+// not leak in.
+func (s *server) goroutineBody() {
+	go func() {
+		s.aux.Lock()
+		s.ch <- 3 // want "channel send while holding \\S*server.aux"
+		s.aux.Unlock()
+	}()
+	s.ch <- 4 // clean: nothing held here
+}
+
+// An embedded mutex is identified by its owner type.
+type embedded struct {
+	sync.Mutex
+	ch chan int
+}
+
+func (e *embedded) sendLocked() {
+	e.Lock()
+	e.ch <- 1 // want "channel send while holding \\S*embedded.Mutex"
+	e.Unlock()
+}

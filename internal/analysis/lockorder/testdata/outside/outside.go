@@ -1,0 +1,16 @@
+// The same shapes as the engine testdata, but loaded outside the flow
+// scope: no findings expected anywhere in this file.
+package outside
+
+import "sync"
+
+type poller struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (p *poller) sendWhileLocked() {
+	p.mu.Lock()
+	p.ch <- 1
+	p.mu.Unlock()
+}

@@ -7,15 +7,20 @@ import (
 	"pgss/internal/analysis"
 	"pgss/internal/analysis/ctxflow"
 	"pgss/internal/analysis/errwrap"
+	"pgss/internal/analysis/exhaustive"
+	"pgss/internal/analysis/fpdeterminism"
 	"pgss/internal/analysis/goroutines"
 	"pgss/internal/analysis/ioatomic"
+	"pgss/internal/analysis/leaktrack"
+	"pgss/internal/analysis/lockorder"
 	"pgss/internal/analysis/maporder"
 	"pgss/internal/analysis/mutexcopy"
 	"pgss/internal/analysis/nodeterminism"
 )
 
 // All returns every analyzer in the suite, in the order pgss-lint runs
-// them.
+// them: the seven syntax-level analyzers from PR 4, then the four
+// CFG-based dataflow analyzers.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		nodeterminism.Analyzer,
@@ -25,6 +30,10 @@ func All() []*analysis.Analyzer {
 		mutexcopy.Analyzer,
 		goroutines.Analyzer,
 		ioatomic.Analyzer,
+		lockorder.Analyzer,
+		leaktrack.Analyzer,
+		fpdeterminism.Analyzer,
+		exhaustive.Analyzer,
 	}
 }
 

@@ -53,3 +53,36 @@ func EnginePaths() []string {
 func IsCommand(path string) bool {
 	return strings.HasPrefix(path, "pgss/cmd/") || strings.HasPrefix(path, "pgss/examples/")
 }
+
+// flowExtraPaths widens the flow-sensitive tier (lockorder, leaktrack)
+// beyond the deterministic engine set: the artifact store's two-level
+// singleflight (in-process flight map + on-disk lock files) and the chaos
+// harness's goroutine orchestration are exactly the concurrency surfaces
+// those analyzers exist to guard, even though wall clocks are legitimate
+// there.
+var flowExtraPaths = map[string]bool{
+	"pgss/internal/artifact": true,
+	"pgss/internal/chaos":    true,
+}
+
+// IsFlowScope reports whether path is bound by the flow-sensitive
+// invariants (lock ordering, resource release on error paths): every
+// engine package, the artifact store, the chaos harness, and all cmd/
+// mains.
+func IsFlowScope(path string) bool {
+	return IsEngine(path) || flowExtraPaths[path] || strings.HasPrefix(path, "pgss/cmd/")
+}
+
+// FlowPaths returns the flow-scope package set (excluding the open-ended
+// cmd/ prefix), sorted, for docs and driver output.
+func FlowPaths() []string {
+	out := make([]string, 0, len(enginePaths)+len(flowExtraPaths))
+	for p := range enginePaths {
+		out = append(out, p)
+	}
+	for p := range flowExtraPaths {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -46,6 +46,7 @@ func (s *Suite) CampaignRun(ctx context.Context, sp campaign.Spec) (sampling.Res
 		return sampling.Result{}, err
 	}
 	scale := s.Scale()
+	//pgss:enum technique
 	switch sp.Technique {
 	case "PGSS":
 		if s.opts.Shards > 1 || s.opts.SampleWorkers > 1 {

@@ -48,7 +48,7 @@ func (c *ManualClock) After(d time.Duration) <-chan time.Time {
 	defer c.mu.Unlock()
 	t := &manualTimer{at: c.now.Add(d), ch: make(chan time.Time, 1)}
 	if d <= 0 {
-		t.ch <- c.now
+		t.ch <- c.now //pgss:allow lockorder buffered cap 1, single send ever: never blocks
 		return t.ch
 	}
 	c.timers = append(c.timers, t)
@@ -63,7 +63,7 @@ func (c *ManualClock) Advance(d time.Duration) {
 	kept := c.timers[:0]
 	for _, t := range c.timers {
 		if !t.at.After(c.now) {
-			t.ch <- c.now
+			t.ch <- c.now //pgss:allow lockorder buffered cap 1, fired timers are dropped: never blocks
 		} else {
 			kept = append(kept, t)
 		}

@@ -133,6 +133,25 @@ func Retryable(err error) bool {
 		errors.Is(err, ErrWorkerStalled)
 }
 
+// Kinds lists every non-empty class name Kind can return, in taxonomy
+// order. Switches over kind strings elsewhere in the tree are checked
+// against this registry by the exhaustive analyzer, whose copy is
+// sync-tested against this function — extend both together.
+func Kinds() []string {
+	return []string{
+		"invalid-config",
+		"misaligned-window",
+		"budget-exceeded",
+		"cache-corrupt",
+		"run-panicked",
+		"interrupted",
+		"infeasible",
+		"io",
+		"worker-stalled",
+		"other",
+	}
+}
+
 // Kind returns the taxonomy class name of err for journals and error
 // summaries, or "other" when err wraps no sentinel.
 func Kind(err error) string {
